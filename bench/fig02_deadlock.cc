@@ -1,0 +1,150 @@
+// Figure 2 / section 3.3.3: why DATA_ACKs cannot live in the payload.
+//
+// The paper's central protocol argument: if connection-level
+// acknowledgments are encoded as chunks *inside* the TCP payload, they
+// become subject to flow control, and a pipelining workload deadlocks:
+//
+//   1. Client C pipelines requests; server S is busy sending a large
+//      response, so S's application is not reading -> S's receive buffer
+//      fills with C's queued requests.
+//   2. S's advertised window to C closes.
+//   3. C receives response data and must send a DATA_ACK -- but the
+//      DATA_ACK is payload, and S's closed window forbids sending it.
+//   4. S cannot free its send buffer without the DATA_ACK; its
+//      application blocks on write; it never drains its receive buffer;
+//      the window never opens. Deadlock.
+//
+// This binary demonstrates the cycle with a minimal executable model of
+// both encodings and prints whether each run completes. It is a model of
+// the *encoding semantics* (windows, buffers, acknowledgment placement),
+// not a packet simulation -- the deadlock is a property of the semantics.
+#include <cstdio>
+#include <cstdint>
+#include <deque>
+
+namespace {
+
+/// One endpoint of the model. Buffers are in abstract "units".
+struct Endpoint {
+  const char* name;
+  // Send side: data the app has written, not yet freed by a DATA_ACK.
+  uint64_t send_buffered = 0;
+  uint64_t send_capacity = 4;
+  uint64_t sent_unacked = 0;  // delivered to peer, awaiting DATA_ACK
+  // Receive side: delivered units the app has not read.
+  uint64_t recv_buffered = 0;
+  uint64_t recv_capacity = 4;
+  // Units the app still wants to write / expects to read.
+  uint64_t app_to_write = 0;
+  uint64_t app_to_read = 0;
+  bool app_reads_only_after_writing = false;  // S's busy-sending behaviour
+
+  uint64_t window() const { return recv_capacity - recv_buffered; }
+  bool app_may_read() const {
+    return !app_reads_only_after_writing || app_to_write == 0;
+  }
+};
+
+/// Runs the exchange with the chosen DATA_ACK encoding; returns true if
+/// both applications finish, false if no step is possible (deadlock).
+bool run(bool acks_in_payload, bool verbose) {
+  Endpoint c{"C"}, s{"S"};
+  // C pipelines 6 units of requests; S answers with 8 units and only
+  // reads requests once its response is fully written (Fig. 2's setup).
+  c.app_to_write = 6;
+  s.app_to_read = 6;
+  s.app_to_write = 8;
+  c.app_to_read = 8;
+  s.app_reads_only_after_writing = true;
+
+  // Pending connection-level acknowledgments each side owes the other.
+  uint64_t c_owes_ack = 0, s_owes_ack = 0;
+
+  auto step = [&](Endpoint& from, Endpoint& to, uint64_t& from_owes_ack,
+                  uint64_t& to_owes_ack) -> bool {
+    bool progressed = false;
+    // App writes into the send buffer.
+    if (from.app_to_write > 0 && from.send_buffered < from.send_capacity) {
+      from.app_to_write -= 1;
+      from.send_buffered += 1;
+      progressed = true;
+    }
+    // Transmit one unit of data if the peer's window admits it.
+    if (from.send_buffered > from.sent_unacked && to.window() > 0) {
+      from.sent_unacked += 1;
+      to.recv_buffered += 1;
+      to_owes_ack += 1;
+      progressed = true;
+    }
+    // Deliver a pending DATA_ACK.
+    if (from_owes_ack > 0) {
+      bool can_send_ack = true;
+      if (acks_in_payload) {
+        // A payload-encoded DATA_ACK is data: it needs window at the
+        // peer (and occupies a slot there until the TLV is parsed, which
+        // we generously make free).
+        can_send_ack = to.window() > 0;
+      }
+      if (can_send_ack) {
+        from_owes_ack -= 1;
+        // Acknowledgment frees one unit of the peer's send buffer.
+        if (to.sent_unacked > 0) {
+          to.sent_unacked -= 1;
+          to.send_buffered -= 1;
+        }
+        progressed = true;
+      }
+    }
+    // App reads from the receive buffer.
+    if (from.recv_buffered > 0 && from.app_to_read > 0 &&
+        from.app_may_read()) {
+      from.recv_buffered -= 1;
+      from.app_to_read -= 1;
+      progressed = true;
+    }
+    return progressed;
+  };
+
+  for (int round = 0; round < 1000; ++round) {
+    const bool p1 = step(c, s, c_owes_ack, s_owes_ack);
+    const bool p2 = step(s, c, s_owes_ack, c_owes_ack);
+    const bool done = c.app_to_write == 0 && s.app_to_write == 0 &&
+                      c.app_to_read == 0 && s.app_to_read == 0 &&
+                      c.send_buffered == 0 && s.send_buffered == 0;
+    if (done) {
+      if (verbose) std::printf("    completed in %d rounds\n", round + 1);
+      return true;
+    }
+    if (!p1 && !p2) {
+      if (verbose) {
+        std::printf("    DEADLOCK at round %d:\n", round + 1);
+        std::printf("      S: send_buffered=%llu (app blocked on write), "
+                    "recv_buffered=%llu/%llu (app not reading)\n",
+                    static_cast<unsigned long long>(s.send_buffered),
+                    static_cast<unsigned long long>(s.recv_buffered),
+                    static_cast<unsigned long long>(s.recv_capacity));
+        std::printf("      C: owes %llu DATA_ACKs it cannot send "
+                    "(S's window is closed)\n",
+                    static_cast<unsigned long long>(c_owes_ack));
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Fig 2 / section 3.3.3: DATA_ACK encoding and the "
+              "flow-control deadlock\n\n");
+  std::printf("  DATA_ACKs as payload chunks (subject to flow control):\n");
+  const bool payload_ok = run(/*acks_in_payload=*/true, true);
+  std::printf("\n  DATA_ACKs as TCP options (exempt from flow control):\n");
+  const bool option_ok = run(/*acks_in_payload=*/false, true);
+  std::printf("\nresult: payload encoding %s, option encoding %s\n",
+              payload_ok ? "completed (unexpected!)" : "deadlocks",
+              option_ok ? "completes" : "deadlocks (unexpected!)");
+  std::printf("=> \"there was only one viable choice\" (section 1).\n");
+  return payload_ok || !option_ok ? 1 : 0;
+}

@@ -1,0 +1,119 @@
+#include "app/bulk_app.h"
+
+#include <cstring>
+
+namespace mptcp {
+
+// ---------------------------------------------------------------------------
+// BulkSender
+// ---------------------------------------------------------------------------
+
+BulkSender::BulkSender(StreamSocket& sock, uint64_t total_bytes,
+                       bool close_when_done)
+    : sock_(sock), total_(total_bytes), close_when_done_(close_when_done) {
+  sock_.on_connected = [this] { fill(); };
+  sock_.on_send_space = [this] { fill(); };
+}
+
+void BulkSender::fill() {
+  constexpr size_t kChunk = 64 * 1024;
+  while (!closed_) {
+    if (total_ != 0 && written_ >= total_) {
+      if (close_when_done_) {
+        closed_ = true;
+        sock_.close();
+      }
+      return;
+    }
+    size_t want = kChunk;
+    if (total_ != 0) {
+      want = static_cast<size_t>(
+          std::min<uint64_t>(want, total_ - written_));
+    }
+    const auto chunk = pattern_bytes(written_, want);
+    const size_t n = sock_.write(chunk);
+    written_ += n;
+    if (n < want) return;  // buffer full; resume on on_send_space
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BulkReceiver
+// ---------------------------------------------------------------------------
+
+BulkReceiver::BulkReceiver(StreamSocket& sock, bool verify)
+    : sock_(sock), verify_(verify) {
+  sock_.on_readable = [this] { drain(); };
+}
+
+void BulkReceiver::drain() {
+  uint8_t buf[16 * 1024];
+  for (;;) {
+    const size_t n = sock_.read(buf);
+    if (n == 0) break;
+    if (verify_) {
+      for (size_t i = 0; i < n; ++i) {
+        if (buf[i] != pattern_byte(received_ + i)) ++pattern_errors_;
+      }
+    }
+    received_ += n;
+  }
+  if (sock_.at_eof() && !saw_eof_) {
+    saw_eof_ = true;
+    if (on_eof) on_eof();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BlockSender / BlockReceiver
+// ---------------------------------------------------------------------------
+
+BlockSender::BlockSender(EventLoop& loop, StreamSocket& sock)
+    : loop_(loop), sock_(sock) {
+  sock_.on_connected = [this] { fill(); };
+  sock_.on_send_space = [this] { fill(); };
+}
+
+void BlockSender::fill() {
+  for (;;) {
+    if (current_off_ == current_.size()) {
+      // Start a new block stamped with its creation time.
+      current_.assign(kBlockSize, 0);
+      const uint64_t ts = static_cast<uint64_t>(loop_.now());
+      for (int i = 0; i < 8; ++i) {
+        current_[i] = static_cast<uint8_t>(ts >> ((7 - i) * 8));
+      }
+      current_off_ = 0;
+      ++blocks_started_;
+    }
+    const size_t n = sock_.write(
+        std::span<const uint8_t>(current_).subspan(current_off_));
+    current_off_ += n;
+    if (current_off_ < current_.size()) return;  // blocked; resume later
+  }
+}
+
+BlockReceiver::BlockReceiver(EventLoop& loop, StreamSocket& sock)
+    : loop_(loop), sock_(sock) {
+  sock_.on_readable = [this] { drain(); };
+}
+
+void BlockReceiver::drain() {
+  uint8_t buf[16 * 1024];
+  for (;;) {
+    const size_t n = sock_.read(buf);
+    if (n == 0) break;
+    pending_.insert(pending_.end(), buf, buf + n);
+    while (pending_.size() >= BlockSender::kBlockSize) {
+      uint64_t ts = 0;
+      for (int i = 0; i < 8; ++i) ts = (ts << 8) | pending_[i];
+      const SimTime delay = loop_.now() - static_cast<SimTime>(ts);
+      delays_.add(to_seconds(delay));
+      ++blocks_;
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + BlockSender::kBlockSize);
+    }
+  }
+}
+
+}  // namespace mptcp

@@ -1,0 +1,153 @@
+#include "app/http_app.h"
+
+#include "app/harness.h"
+
+namespace mptcp {
+
+namespace {
+constexpr uint8_t kMagic[8] = {'M', 'P', 'G', 'E', 'T', 0, 0, 0};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
+
+HttpServer::HttpServer(MptcpStack& stack, Port port) : stack_(stack) {
+  stack_.listen(port, [this](MptcpConnection& c) { accept(c); });
+}
+
+void HttpServer::accept(MptcpConnection& c) {
+  c.set_auto_destroy(true);
+  auto conn = std::make_unique<Conn>();
+  conn->self = this;
+  conn->sock = &c;
+  Conn* raw = conn.get();
+  conns_.push_back(std::move(conn));
+  c.on_readable = [raw] { raw->on_readable(); };
+  c.on_send_space = [raw] { raw->pump_response(); };
+  c.on_closed = [this, raw] { reap(raw); };
+}
+
+void HttpServer::Conn::on_readable() {
+  uint8_t buf[256];
+  for (;;) {
+    const size_t n = sock->read(buf);
+    if (n == 0) break;
+    request.insert(request.end(), buf, buf + n);
+  }
+  if (!responding && request.size() >= kHttpRequestSize) {
+    responding = true;
+    uint64_t size = 0;
+    for (int i = 8; i < 16; ++i) size = (size << 8) | request[i];
+    response_size = size;
+    pump_response();
+  }
+}
+
+void HttpServer::Conn::pump_response() {
+  if (!responding || closed_sent) return;
+  while (response_sent < response_size) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(16 * 1024, response_size - response_sent));
+    const auto bytes = pattern_bytes(response_sent, chunk);
+    const size_t n = sock->write(bytes);
+    response_sent += n;
+    self->bytes_ += n;
+    if (n < chunk) return;  // buffer full; resume on send space
+  }
+  closed_sent = true;
+  ++self->served_;
+  sock->close();
+}
+
+void HttpServer::reap(Conn* conn) {
+  std::erase_if(conns_, [conn](const std::unique_ptr<Conn>& c) {
+    return c.get() == conn;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// HttpClientPool
+// ---------------------------------------------------------------------------
+
+HttpClientPool::HttpClientPool(MptcpStack& stack, IpAddr local_addr,
+                               Endpoint server, size_t clients,
+                               uint64_t response_size)
+    : stack_(stack),
+      local_addr_(local_addr),
+      server_(server),
+      response_size_(response_size) {
+  for (size_t i = 0; i < clients; ++i) {
+    auto c = std::make_unique<Client>();
+    c->self = this;
+    clients_.push_back(std::move(c));
+  }
+}
+
+void HttpClientPool::start() {
+  for (auto& c : clients_) start_request(*c);
+}
+
+void HttpClientPool::start_request(Client& c) {
+  c.received = 0;
+  c.done = false;
+  // Bind the preferred address if its interface is up, else the first
+  // live one (a real resolver/route lookup would do the same).
+  IpAddr addr = local_addr_;
+  if (!stack_.host().interface_up(addr)) {
+    for (IpAddr a : stack_.host().addresses()) {
+      if (stack_.host().interface_up(a)) {
+        addr = a;
+        break;
+      }
+    }
+  }
+  MptcpConnection& conn = stack_.connect(addr, server_);
+  conn.set_auto_destroy(true);
+  c.sock = &conn;
+  Client* raw = &c;
+  conn.on_connected = [this, raw] {
+    std::vector<uint8_t> req(kHttpRequestSize, 0);
+    std::copy(std::begin(kMagic), std::end(kMagic), req.begin());
+    for (int i = 0; i < 8; ++i) {
+      req[8 + i] = static_cast<uint8_t>(response_size_ >> ((7 - i) * 8));
+    }
+    raw->sock->write(req);
+  };
+  conn.on_readable = [this, raw] { on_client_readable(*raw); };
+  conn.on_closed = [this, raw] {
+    if (!raw->done) {
+      // Connection died before the full response: count and retry.
+      raw->done = true;
+      ++errors_;
+      raw->sock = nullptr;
+      start_request(*raw);
+    }
+  };
+}
+
+void HttpClientPool::on_client_readable(Client& c) {
+  uint8_t buf[16 * 1024];
+  for (;;) {
+    const size_t n = c.sock->read(buf);
+    if (n == 0) break;
+    c.received += n;
+  }
+  if (!c.done && c.sock->at_eof()) {
+    c.done = true;
+    if (c.received == response_size_) {
+      ++completed_;
+    } else {
+      ++errors_;
+    }
+    c.sock->close();
+    MptcpConnection* old = c.sock;
+    c.sock = nullptr;
+    old->on_readable = nullptr;
+    old->on_closed = nullptr;
+    old->on_connected = nullptr;
+    start_request(c);
+  }
+}
+
+}  // namespace mptcp

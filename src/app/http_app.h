@@ -1,0 +1,82 @@
+// Closed-loop HTTP-like workload (Fig. 11: apachebench against Apache).
+//
+// N concurrent clients each run request/response transactions in a closed
+// loop: open a connection, send a small fixed-size request naming the
+// response size, read the response to EOF, open the next connection.
+// Requests/second is the figure of merit. The same code drives MPTCP,
+// fallback-TCP, and TCP-over-bonding servers, since all expose
+// StreamSocket.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/mptcp_stack.h"
+
+namespace mptcp {
+
+/// Wire format of a request: magic + big-endian response size.
+inline constexpr size_t kHttpRequestSize = 16;
+
+class HttpServer {
+ public:
+  HttpServer(MptcpStack& stack, Port port);
+
+  uint64_t requests_served() const { return served_; }
+  uint64_t bytes_served() const { return bytes_; }
+
+ private:
+  struct Conn {
+    HttpServer* self = nullptr;
+    MptcpConnection* sock = nullptr;
+    std::vector<uint8_t> request;
+    uint64_t response_size = 0;
+    uint64_t response_sent = 0;
+    bool responding = false;
+    bool closed_sent = false;
+
+    void on_readable();
+    void pump_response();
+  };
+
+  void accept(MptcpConnection& c);
+  void reap(Conn* conn);
+
+  MptcpStack& stack_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  uint64_t served_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+class HttpClientPool {
+ public:
+  /// `local_addr`: the address new connections bind (subflows may join
+  /// from the host's other addresses automatically when MPTCP is on).
+  HttpClientPool(MptcpStack& stack, IpAddr local_addr, Endpoint server,
+                 size_t clients, uint64_t response_size);
+
+  void start();
+  uint64_t completed() const { return completed_; }
+  uint64_t errors() const { return errors_; }
+
+ private:
+  struct Client {
+    HttpClientPool* self = nullptr;
+    MptcpConnection* sock = nullptr;
+    uint64_t received = 0;
+    bool done = false;
+  };
+
+  void start_request(Client& c);
+  void on_client_readable(Client& c);
+
+  MptcpStack& stack_;
+  IpAddr local_addr_;
+  Endpoint server_;
+  uint64_t response_size_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  uint64_t completed_ = 0;
+  uint64_t errors_ = 0;
+};
+
+}  // namespace mptcp

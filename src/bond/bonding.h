@@ -1,0 +1,34 @@
+// Round-robin link bonding (the Fig. 11 baseline).
+//
+// Linux's bonding driver in balance-rr mode stripes packets of a single
+// TCP connection across two physical links below L3: the endpoints see
+// one interface. Striping at the packet level means packets of one flow
+// take different paths -- reordering is possible whenever the links'
+// occupancy differs, which is exactly the behaviour the paper contrasts
+// with MPTCP's per-path subflows.
+#pragma once
+
+#include <vector>
+
+#include "sim/node.h"
+
+namespace mptcp {
+
+class BondDevice : public PacketSink {
+ public:
+  void add_leg(PacketSink* leg) { legs_.push_back(leg); }
+
+  void deliver(TcpSegment seg) override {
+    if (legs_.empty()) return;
+    ++count_;
+    legs_[count_ % legs_.size()]->deliver(std::move(seg));
+  }
+
+  uint64_t packets() const { return count_; }
+
+ private:
+  std::vector<PacketSink*> legs_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace mptcp

@@ -1,0 +1,60 @@
+// Coupled congestion control: Linked Increases Algorithm (LIA).
+//
+// From Wischik, Raiciu, Greenhalgh, Handley, "Design, implementation and
+// evaluation of congestion control for multipath TCP", NSDI 2011 -- the
+// controller the paper's MPTCP implementation uses (its reference [23]).
+//
+// Window increase on subflow i per ACK of b bytes:
+//     cwnd_i += min( alpha * b * mss / cwnd_total ,  b * mss / cwnd_i )
+// with
+//     alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i/rtt_i)^2
+// computed across the established subflows of one connection. The min()
+// guarantees MPTCP is never more aggressive than TCP on any single path;
+// alpha couples the increases so the connection as a whole takes one
+// fair share and moves traffic away from congested paths. Decrease is
+// standard per-subflow halving.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tcp/cc.h"
+
+namespace mptcp {
+
+class LiaCc;
+
+/// Shared state across the subflows of one MPTCP connection.
+class CoupledGroup {
+ public:
+  void add(LiaCc* cc) { members_.push_back(cc); }
+  void remove(LiaCc* cc) {
+    std::erase(members_, cc);
+  }
+
+  /// Recomputes alpha from current member cwnds/RTTs.
+  double alpha() const;
+  uint64_t total_cwnd() const;
+
+ private:
+  std::vector<LiaCc*> members_;
+};
+
+class LiaCc final : public NewRenoCc {
+ public:
+  LiaCc(CoupledGroup& group, Options opts) : NewRenoCc(opts), group_(group) {
+    group_.add(this);
+  }
+  ~LiaCc() override { group_.remove(this); }
+
+  void on_ack(uint64_t bytes_acked, SimTime srtt, SimTime min_rtt) override;
+
+  SimTime last_srtt() const { return last_srtt_; }
+  double cwnd_bytes() const { return cwnd_; }
+
+ private:
+  CoupledGroup& group_;
+  SimTime last_srtt_ = 0;
+};
+
+}  // namespace mptcp

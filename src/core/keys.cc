@@ -1,0 +1,28 @@
+#include "core/keys.h"
+
+namespace mptcp {
+
+TokenTable::KeyToken TokenTable::generate_and_register(
+    MptcpConnection* owner) {
+  // Fast path: a precomputed key whose token is (still) free.
+  while (!pool_.empty()) {
+    const KeyToken kt = pool_.front();
+    pool_.pop_front();
+    if (table_.emplace(kt.token, owner).second) return kt;
+  }
+  for (;;) {
+    const uint64_t key = rng_.next_u64();
+    if (key == 0) continue;
+    const uint32_t token = mptcp_token_from_key(key);
+    if (table_.find(token) != table_.end()) continue;  // collision: retry
+    table_.emplace(token, owner);
+    return KeyToken{key, token, mptcp_idsn_from_key(key)};
+  }
+}
+
+bool TokenTable::register_key(uint64_t key, MptcpConnection* owner) {
+  const uint32_t token = mptcp_token_from_key(key);
+  return table_.emplace(token, owner).second;
+}
+
+}  // namespace mptcp

@@ -1,0 +1,301 @@
+#include "core/meta_recv.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mptcp {
+
+// ---------------------------------------------------------------------------
+// Location strategies.
+// ---------------------------------------------------------------------------
+
+MetaReceiveQueue::List::iterator MetaReceiveQueue::locate_linear(
+    uint64_t target) {
+  // Scan from the tail, as stacks optimized for the in-order common case
+  // do; with multipath interleaving the scan regularly walks deep into
+  // the queue, which is precisely the cost the paper measures.
+  auto it = chunks_.end();
+  while (it != chunks_.begin()) {
+    auto prev = std::prev(it);
+    ++stats_.comparisons;
+    if (prev->dsn < target) return it;
+    it = prev;
+  }
+  return it;
+}
+
+MetaReceiveQueue::List::iterator MetaReceiveQueue::locate_tree(
+    uint64_t target) {
+  // Count ~log2(n) comparisons for the descent, as a balanced tree pays.
+  const size_t n = tree_.size();
+  stats_.comparisons +=
+      n == 0 ? 1 : static_cast<uint64_t>(std::ceil(std::log2(n + 1)));
+  auto it = tree_.lower_bound(target);
+  return it == tree_.end() ? chunks_.end() : it->second;
+}
+
+MetaReceiveQueue::List::iterator MetaReceiveQueue::locate_batches(
+    uint64_t target) {
+  if (!batch_heads_valid_) rebuild_batch_heads();
+  if (batch_heads_.empty()) return chunks_.end();
+
+  // Find the first batch head with dsn >= target.
+  auto head_it = batch_heads_.begin();
+  auto prev_head = batch_heads_.end();
+  while (head_it != batch_heads_.end()) {
+    ++stats_.comparisons;
+    if ((*head_it)->dsn >= target) break;
+    prev_head = head_it;
+    ++head_it;
+  }
+
+  const List::iterator upper =
+      head_it == batch_heads_.end() ? chunks_.end() : *head_it;
+  if (prev_head == batch_heads_.end()) return upper;
+
+  // Does the target fall inside the previous batch (overlap case)?
+  const List::iterator batch_tail =
+      upper == chunks_.begin() ? chunks_.begin() : std::prev(upper);
+  if (batch_tail->dsn < target && batch_tail->end() <= target) {
+    return upper;  // strictly past the previous batch: O(batches) total
+  }
+  // Walk within the previous batch to find the first chunk >= target.
+  auto it = *prev_head;
+  while (it != upper) {
+    ++stats_.comparisons;
+    if (it->dsn >= target) return it;
+    ++it;
+  }
+  return upper;
+}
+
+MetaReceiveQueue::List::iterator MetaReceiveQueue::locate(
+    uint64_t target, size_t subflow_id) {
+  const bool use_hints =
+      algo_ == RecvAlgo::kShortcuts || algo_ == RecvAlgo::kAllShortcuts;
+  if (use_hints) {
+    auto h = hints_.find(subflow_id);
+    ++stats_.comparisons;
+    if (h != hints_.end()) {
+      // Positional validity, two O(1) forms: the target goes right after
+      // the remembered chunk (the batch-append case), or right before it
+      // (the hint advanced over delivered chunks and the subflow is
+      // filling in at the head).
+      const List::iterator hint = h->second;
+      const auto nxt = std::next(hint);
+      ++stats_.comparisons;
+      if (hint->end() <= target &&
+          (nxt == chunks_.end() || nxt->dsn >= target)) {
+        ++stats_.shortcut_hits;
+        return nxt;
+      }
+      ++stats_.comparisons;
+      if (hint->dsn >= target &&
+          (hint == chunks_.begin() || std::prev(hint)->end() <= target)) {
+        ++stats_.shortcut_hits;
+        return hint;
+      }
+    }
+    ++stats_.shortcut_misses;
+  }
+  switch (algo_) {
+    case RecvAlgo::kRegular:
+    case RecvAlgo::kShortcuts:
+      return locate_linear(target);
+    case RecvAlgo::kTree:
+      return locate_tree(target);
+    case RecvAlgo::kAllShortcuts:
+      return locate_batches(target);
+  }
+  return chunks_.end();
+}
+
+// ---------------------------------------------------------------------------
+// Index-maintaining mutations.
+// ---------------------------------------------------------------------------
+
+MetaReceiveQueue::List::iterator MetaReceiveQueue::place(List::iterator pos,
+                                                         MetaChunk chunk) {
+  ooo_bytes_ += chunk.bytes.size();
+  const uint64_t dsn = chunk.dsn;
+  auto it = chunks_.insert(pos, std::move(chunk));
+
+  if (algo_ == RecvAlgo::kTree) tree_.emplace(dsn, it);
+
+  if (algo_ == RecvAlgo::kAllShortcuts && batch_heads_valid_) {
+    const bool contiguous_prev =
+        it != chunks_.begin() && std::prev(it)->end() == dsn;
+    const bool contiguous_next =
+        std::next(it) != chunks_.end() && it->end() == std::next(it)->dsn;
+    const bool next_is_head =
+        contiguous_next;  // if contiguous, the next chunk can no longer
+                          // start a batch regardless of its prior status
+    if (next_is_head) {
+      // Remove the next chunk from the head list if it was a head.
+      for (auto h = batch_heads_.begin(); h != batch_heads_.end(); ++h) {
+        if (*h == std::next(it)) {
+          batch_heads_.erase(h);
+          break;
+        }
+      }
+    }
+    if (!contiguous_prev) {
+      // This chunk starts a batch: insert in dsn order.
+      auto h = batch_heads_.begin();
+      while (h != batch_heads_.end() && (*h)->dsn < dsn) ++h;
+      batch_heads_.insert(h, it);
+    }
+  }
+  return it;
+}
+
+MetaReceiveQueue::List::iterator MetaReceiveQueue::erase(List::iterator it) {
+  return erase(it, it->end(), it->bytes.size());
+}
+
+MetaReceiveQueue::List::iterator MetaReceiveQueue::erase(List::iterator it,
+                                                         uint64_t true_end,
+                                                         size_t true_size) {
+  ooo_bytes_ -= true_size;
+  if (algo_ == RecvAlgo::kTree) tree_.erase(it->dsn);
+  // A hint pointing at the erased chunk advances to its successor: the
+  // "insert after here" expectation usually remains valid across pops.
+  const auto successor = std::next(it);
+  for (auto h = hints_.begin(); h != hints_.end();) {
+    if (h->second == it) {
+      if (successor == chunks_.end()) {
+        h = hints_.erase(h);
+        continue;
+      }
+      h->second = successor;
+    }
+    ++h;
+  }
+  if (algo_ == RecvAlgo::kAllShortcuts && batch_heads_valid_) {
+    bool was_head = false;
+    for (auto h = batch_heads_.begin(); h != batch_heads_.end(); ++h) {
+      if (*h == it) {
+        was_head = true;
+        batch_heads_.erase(h);
+        break;
+      }
+    }
+    auto next = std::next(it);
+    if (was_head && next != chunks_.end() && true_end == next->dsn) {
+      // The rest of this batch survives; its first chunk becomes the head.
+      auto h = batch_heads_.begin();
+      while (h != batch_heads_.end() && (*h)->dsn < next->dsn) ++h;
+      batch_heads_.insert(h, next);
+    }
+  }
+  return chunks_.erase(it);
+}
+
+void MetaReceiveQueue::rebuild_batch_heads() {
+  batch_heads_.clear();
+  uint64_t prev_end = 0;
+  bool first = true;
+  for (auto it = chunks_.begin(); it != chunks_.end(); ++it) {
+    if (first || it->dsn != prev_end) batch_heads_.push_back(it);
+    prev_end = it->end();
+    first = false;
+  }
+  batch_heads_valid_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Public operations.
+// ---------------------------------------------------------------------------
+
+void MetaReceiveQueue::insert(uint64_t dsn, std::vector<uint8_t> bytes,
+                              size_t subflow_id, uint64_t floor) {
+  ++stats_.inserts;
+  if (bytes.empty()) return;
+  if (dsn + bytes.size() <= floor) {
+    stats_.duplicate_bytes += bytes.size();
+    return;
+  }
+  if (dsn < floor) {
+    const size_t cut = static_cast<size_t>(floor - dsn);
+    stats_.duplicate_bytes += cut;
+    bytes.erase(bytes.begin(), bytes.begin() + cut);
+    dsn = floor;
+  }
+
+  auto pos = locate(dsn, subflow_id);
+
+  // Trim against the predecessor.
+  if (pos != chunks_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->end() > dsn) {
+      const uint64_t pe = prev->end();
+      if (pe >= dsn + bytes.size()) {
+        stats_.duplicate_bytes += bytes.size();
+        return;
+      }
+      const size_t cut = static_cast<size_t>(pe - dsn);
+      stats_.duplicate_bytes += cut;
+      bytes.erase(bytes.begin(), bytes.begin() + cut);
+      dsn = pe;
+    }
+  }
+
+  // Interleave with successors, splitting as needed.
+  List::iterator last_placed = chunks_.end();
+  while (!bytes.empty() && pos != chunks_.end() &&
+         pos->dsn < dsn + bytes.size()) {
+    if (pos->dsn <= dsn) {
+      // Existing chunk covers our head.
+      const uint64_t pe = pos->end();
+      const size_t cut = static_cast<size_t>(
+          std::min<uint64_t>(pe - dsn, bytes.size()));
+      stats_.duplicate_bytes += cut;
+      bytes.erase(bytes.begin(), bytes.begin() + cut);
+      dsn = pe;
+      ++pos;
+    } else {
+      // Place our head up to the successor, then skip its coverage.
+      const size_t head_len = static_cast<size_t>(pos->dsn - dsn);
+      MetaChunk head{dsn,
+                     std::vector<uint8_t>(bytes.begin(),
+                                          bytes.begin() + head_len),
+                     subflow_id};
+      last_placed = place(pos, std::move(head));
+      bytes.erase(bytes.begin(), bytes.begin() + head_len);
+      dsn += head_len;
+    }
+  }
+  if (!bytes.empty()) {
+    last_placed = place(pos, MetaChunk{dsn, std::move(bytes), subflow_id});
+  }
+  if (last_placed != chunks_.end()) hints_[subflow_id] = last_placed;
+}
+
+std::optional<MetaChunk> MetaReceiveQueue::pop_ready(uint64_t rcv_nxt) {
+  while (!chunks_.empty()) {
+    auto it = chunks_.begin();
+    ++stats_.comparisons;
+    if (it->dsn > rcv_nxt) return std::nullopt;
+    MetaChunk chunk;
+    chunk.dsn = it->dsn;
+    chunk.subflow_id = it->subflow_id;
+    const uint64_t true_end = it->end();
+    const size_t true_size = it->bytes.size();
+    chunk.bytes = std::move(it->bytes);
+    erase(it, true_end, true_size);
+    if (chunk.end() <= rcv_nxt) {
+      stats_.duplicate_bytes += chunk.bytes.size();
+      continue;
+    }
+    if (chunk.dsn < rcv_nxt) {
+      const size_t cut = static_cast<size_t>(rcv_nxt - chunk.dsn);
+      stats_.duplicate_bytes += cut;
+      chunk.bytes.erase(chunk.bytes.begin(), chunk.bytes.begin() + cut);
+      chunk.dsn = rcv_nxt;
+    }
+    return chunk;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mptcp

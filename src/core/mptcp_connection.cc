@@ -1,0 +1,1002 @@
+#include "core/mptcp_connection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/mptcp_stack.h"
+
+namespace mptcp {
+
+namespace {
+constexpr size_t kSubflowSendBufCap = size_t{1} << 40;  // meta governs
+constexpr SimTime kAutotunePeriod = 50 * kMillisecond;
+}  // namespace
+
+MptcpConnection::MptcpConnection(MptcpStack& stack, Endpoint local,
+                                 Endpoint remote)
+    : stack_(stack),
+      config_(stack.config()),
+      role_(Role::kClient),
+      meta_rto_timer_(stack.loop(), [this] { on_meta_rto(); }),
+      meta_recv_(config_.recv_algo),
+      autotune_timer_(stack.loop(), [this] { autotune_tick(); }) {
+  checksum_in_use_ = config_.dss_checksum;
+  meta_snd_capacity_ = config_.meta_autotune
+                           ? std::min<size_t>(config_.meta_snd_buf_max,
+                                              4 * config_.tcp.buf_initial)
+                           : config_.meta_snd_buf_max;
+  meta_rcv_capacity_ = config_.meta_autotune
+                           ? std::min<size_t>(config_.meta_rcv_buf_max,
+                                              4 * config_.tcp.buf_initial)
+                           : config_.meta_rcv_buf_max;
+  // Prime the subflow creation endpoint; connect() does the rest.
+  pending_local_ = local;
+  pending_remote_ = remote;
+}
+
+MptcpConnection::MptcpConnection(MptcpStack& stack, const TcpSegment& syn)
+    : stack_(stack),
+      config_(stack.config()),
+      role_(Role::kServer),
+      meta_rto_timer_(stack.loop(), [this] { on_meta_rto(); }),
+      meta_recv_(config_.recv_algo),
+      autotune_timer_(stack.loop(), [this] { autotune_tick(); }) {
+  checksum_in_use_ = config_.dss_checksum;
+  meta_snd_capacity_ = config_.meta_autotune
+                           ? std::min<size_t>(config_.meta_snd_buf_max,
+                                              4 * config_.tcp.buf_initial)
+                           : config_.meta_snd_buf_max;
+  meta_rcv_capacity_ = config_.meta_autotune
+                           ? std::min<size_t>(config_.meta_rcv_buf_max,
+                                              4 * config_.tcp.buf_initial)
+                           : config_.meta_rcv_buf_max;
+  pending_local_ = syn.tuple.dst;
+  pending_remote_ = syn.tuple.src;
+}
+
+MptcpConnection::~MptcpConnection() {
+  if (token_registered_) stack_.tokens().unregister(local_token_);
+}
+
+// ---------------------------------------------------------------------------
+// Opening.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<CongestionControl> MptcpConnection::make_cc() {
+  NewRenoCc::Options opts;
+  opts.cap_inflight = config_.cap_subflow_cwnd;
+  if (config_.coupled_cc) {
+    return std::make_unique<LiaCc>(cc_group_, opts);
+  }
+  return std::make_unique<NewRenoCc>(opts);
+}
+
+MptcpSubflow* MptcpConnection::create_subflow(SubflowKind kind,
+                                              uint8_t addr_id, Endpoint local,
+                                              Endpoint remote) {
+  TcpConfig cfg = config_.tcp;
+  // The subflow's own buffers must never be the bottleneck: flow control
+  // lives at the connection level. Window scaling is chosen from the meta
+  // receive buffer.
+  cfg.snd_buf_max = kSubflowSendBufCap;
+  cfg.rcv_buf_max = std::max(cfg.rcv_buf_max, config_.meta_rcv_buf_max);
+  cfg.autotune = false;
+  cfg.seed = config_.tcp.seed ^ (next_subflow_id_ * 0x9e3779b9u) ^
+             (role_ == Role::kClient ? 0x5u : 0xAu);
+  auto sf = std::make_unique<MptcpSubflow>(*this, next_subflow_id_++, kind,
+                                           addr_id, host_for_subflows(),
+                                           cfg, local, remote, make_cc());
+  MptcpSubflow* raw = sf.get();
+  subflows_.push_back(std::move(sf));
+  return raw;
+}
+
+Host& MptcpConnection::host_for_subflows() { return stack_.host(); }
+
+void MptcpConnection::init_client_keys() {
+  auto kt = stack_.tokens().generate_and_register(this);
+  token_registered_ = true;
+  local_key_ = kt.key;
+  local_token_ = kt.token;
+  idsn_local_ = kt.idsn;
+  snd_base_d_ = idsn_local_ + 1;
+  meta_snd_.reset(snd_base_d_);
+  meta_snd_end_ = snd_base_d_;
+  snd_una_d_ = snd_nxt_d_ = snd_base_d_;
+}
+
+void MptcpConnection::connect() {
+  assert(role_ == Role::kClient);
+  if (config_.enabled) {
+    init_client_keys();
+    mode_ = MptcpMode::kNegotiating;
+  } else {
+    mode_ = MptcpMode::kFallbackTcp;
+  }
+  MptcpSubflow* sf = create_subflow(SubflowKind::kInitialActive, 0,
+                                    pending_local_, pending_remote_);
+  if (config_.meta_autotune) autotune_timer_.arm_in(kAutotunePeriod);
+  sf->connect();
+}
+
+void MptcpConnection::accept(const TcpSegment& syn) {
+  assert(role_ == Role::kServer);
+  const auto* mpc = find_option<MpCapableOption>(syn.options);
+  if (mpc != nullptr && mpc->sender_key && config_.enabled) {
+    mode_ = MptcpMode::kNegotiating;
+    remote_key_ = *mpc->sender_key;
+    remote_token_ = mptcp_token_from_key(remote_key_);
+    idsn_remote_ = mptcp_idsn_from_key(remote_key_);
+    rcv_nxt_d_ = idsn_remote_ + 1;
+    checksum_in_use_ = config_.dss_checksum || mpc->checksum_required;
+
+    auto kt = stack_.tokens().generate_and_register(this);
+    token_registered_ = true;
+    local_key_ = kt.key;
+    local_token_ = kt.token;
+    idsn_local_ = kt.idsn;
+    snd_base_d_ = idsn_local_ + 1;
+    meta_snd_.reset(snd_base_d_);
+    meta_snd_end_ = snd_base_d_;
+    snd_una_d_ = snd_nxt_d_ = snd_base_d_;
+  } else {
+    // Plain TCP client (or MPTCP disabled here): serve it as TCP.
+    mode_ = MptcpMode::kFallbackTcp;
+  }
+  MptcpSubflow* sf = create_subflow(SubflowKind::kInitialPassive, 0,
+                                    pending_local_, pending_remote_);
+  if (config_.meta_autotune) autotune_timer_.arm_in(kAutotunePeriod);
+  sf->accept_syn(syn);
+}
+
+void MptcpConnection::accept_join(const TcpSegment& syn) {
+  // A join may race the initial subflow's third ACK on an equal-RTT path:
+  // accept while still negotiating (both keys are known from the
+  // MP_CAPABLE SYN); if negotiation later falls back, fallback_to_tcp()
+  // aborts all non-initial subflows.
+  if (mode_ == MptcpMode::kFallbackTcp || no_new_subflows_) return;
+  // Refuse duplicate joins for a 4-tuple we already track.
+  for (const auto& sf : subflows_) {
+    if (sf->local() == syn.tuple.dst && sf->remote() == syn.tuple.src) return;
+  }
+  MptcpSubflow* sf = create_subflow(SubflowKind::kJoinPassive, 0,
+                                    syn.tuple.dst, syn.tuple.src);
+  sf->accept_syn(syn);
+}
+
+MptcpSubflow* MptcpConnection::open_subflow(IpAddr local_addr,
+                                            Endpoint remote) {
+  if (mode_ != MptcpMode::kMptcp || no_new_subflows_) return nullptr;
+  // Address ids index the local address list.
+  uint8_t addr_id = 0;
+  const auto addrs = stack_.host().addresses();
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    if (addrs[i] == local_addr) addr_id = static_cast<uint8_t>(i);
+  }
+  MptcpSubflow* sf = create_subflow(
+      SubflowKind::kJoinActive, addr_id,
+      Endpoint{local_addr, stack_.host().alloc_ephemeral_port()}, remote);
+  sf->connect();
+  return sf;
+}
+
+// ---------------------------------------------------------------------------
+// StreamSocket.
+// ---------------------------------------------------------------------------
+
+bool MptcpConnection::established() const {
+  if (subflows_.empty()) return false;
+  if (mode_ == MptcpMode::kFallbackTcp) return subflows_[0]->established();
+  for (const auto& sf : subflows_) {
+    if (sf->mptcp_usable()) return true;
+  }
+  return false;
+}
+
+size_t MptcpConnection::usable_subflow_count() const {
+  size_t n = 0;
+  for (const auto& sf : subflows_) n += sf->mptcp_usable() ? 1 : 0;
+  return n;
+}
+
+size_t MptcpConnection::write(std::span<const uint8_t> bytes) {
+  if (data_fin_pending_ || data_fin_allocated_) return 0;
+  if (mode_ == MptcpMode::kFallbackTcp) {
+    return subflows_.empty() ? 0 : subflows_[0]->write(bytes);
+  }
+  const size_t n = meta_snd_.append(bytes, meta_snd_capacity_);
+  meta_snd_end_ = meta_snd_.end_seq();
+  if (n > 0) schedule();
+  return n;
+}
+
+size_t MptcpConnection::read(std::span<uint8_t> out) {
+  const size_t n = std::min(out.size(), app_rx_.size());
+  std::copy(app_rx_.begin(), app_rx_.begin() + n, out.begin());
+  app_rx_.erase(app_rx_.begin(), app_rx_.begin() + n);
+  if (n > 0) maybe_send_meta_window_update();
+  return n;
+}
+
+void MptcpConnection::close() {
+  if (mode_ == MptcpMode::kFallbackTcp) {
+    if (!subflows_.empty()) subflows_[0]->close();
+    return;
+  }
+  if (data_fin_pending_ || data_fin_allocated_) return;
+  data_fin_pending_ = true;
+  schedule();
+}
+
+void MptcpConnection::abort() {
+  if (!fastclose_sent_ && mode_ == MptcpMode::kMptcp) {
+    fastclose_sent_ = true;
+    if (MptcpSubflow* sf = best_usable_subflow()) {
+      sf->queue_control_option(MpFastcloseOption{remote_key_});
+      sf->flush_control_options();
+    }
+  }
+  for (auto& sf : subflows_) {
+    if (sf->state() != TcpState::kClosed) sf->abort();
+  }
+  notify_closed_once();
+}
+
+// ---------------------------------------------------------------------------
+// Subflow event handlers.
+// ---------------------------------------------------------------------------
+
+void MptcpConnection::sf_capable_synack(uint64_t peer_key,
+                                        bool csum_required) {
+  if (role_ != Role::kClient || mode_ != MptcpMode::kNegotiating) return;
+  remote_key_ = peer_key;
+  remote_token_ = mptcp_token_from_key(peer_key);
+  idsn_remote_ = mptcp_idsn_from_key(peer_key);
+  rcv_nxt_d_ = idsn_remote_ + 1;
+  checksum_in_use_ = config_.dss_checksum || csum_required;
+  mode_ = MptcpMode::kMptcp;
+}
+
+void MptcpConnection::sf_capable_confirmed(uint64_t key_a, uint64_t key_b) {
+  (void)key_a;
+  (void)key_b;
+  if (role_ != Role::kServer || mode_ != MptcpMode::kNegotiating) return;
+  mode_ = MptcpMode::kMptcp;
+  // Advertise our additional addresses so a NATted client can open
+  // subflows toward them (section 3.2: the explicit path).
+  const auto addrs = stack_.host().addresses();
+  if (addrs.size() > 1 && !subflows_.empty()) {
+    for (size_t i = 0; i < addrs.size(); ++i) {
+      if (addrs[i] == subflows_[0]->local().addr) continue;
+      AddAddrOption add;
+      add.addr_id = static_cast<uint8_t>(i);
+      add.addr = addrs[i];
+      add.port = subflows_[0]->local().port;
+      subflows_[0]->queue_control_option(add);
+    }
+    subflows_[0]->flush_control_options();
+  }
+}
+
+void MptcpConnection::sf_no_mptcp_in_handshake() {
+  if (mode_ == MptcpMode::kNegotiating) fallback_to_tcp("synack-stripped");
+}
+
+void MptcpConnection::sf_first_packet_lacks_mptcp() {
+  if (mode_ == MptcpMode::kNegotiating || mode_ == MptcpMode::kMptcp) {
+    fallback_to_tcp("first-data-stripped");
+  }
+}
+
+void MptcpConnection::sf_peer_dss_seen() {
+  if (role_ == Role::kServer && mode_ == MptcpMode::kNegotiating) {
+    // A DSS is as conclusive as the MP_CAPABLE echo.
+    mode_ = MptcpMode::kMptcp;
+  }
+}
+
+void MptcpConnection::fallback_to_tcp(const char* reason) {
+  (void)reason;
+  if (mode_ == MptcpMode::kFallbackTcp) return;
+  mode_ = MptcpMode::kFallbackTcp;
+  ++meta_stats_.fallbacks;
+  no_new_subflows_ = true;
+  meta_rto_timer_.cancel();
+  // Kill everything except the initial subflow, which carries on as TCP.
+  for (size_t i = 1; i < subflows_.size(); ++i) {
+    if (subflows_[i]->state() != TcpState::kClosed) subflows_[i]->abort();
+  }
+  // Drain unallocated connection-level data straight through. Bytes up to
+  // snd_nxt_d were already handed to the initial subflow (fallback only
+  // happens on the first packets, before any join could carry data) and
+  // will be delivered as the plain subflow stream.
+  if (!subflows_.empty() && meta_snd_.end_seq() > snd_nxt_d_) {
+    std::vector<uint8_t> pending;
+    meta_snd_.copy_out(snd_nxt_d_,
+                       static_cast<size_t>(meta_snd_.end_seq() - snd_nxt_d_),
+                       pending);
+    meta_snd_.free_through(meta_snd_.end_seq());
+    subflows_[0]->write(pending);
+  } else {
+    meta_snd_.free_through(meta_snd_.end_seq());
+  }
+  if (data_fin_pending_ && !subflows_.empty()) subflows_[0]->close();
+}
+
+void MptcpConnection::sf_established(MptcpSubflow* sf) {
+  // Until the first DSS DATA_ACK arrives, the peer's connection-level
+  // window is unknown; seed it from the handshake's TCP window so the
+  // first flight can leave (it is refined by every DSS thereafter).
+  if (mode_ != MptcpMode::kFallbackTcp) {
+    const uint64_t seed_window = std::max<uint64_t>(sf->peer_window(), 65535);
+    meta_right_edge_ = std::max(meta_right_edge_, snd_una_d_ + seed_window);
+  }
+  if (!connected_notified_ && sf->is_initial()) {
+    connected_notified_ = true;
+    if (on_connected) on_connected();
+  }
+  if (sf->is_initial() && role_ == Role::kClient &&
+      mode_ == MptcpMode::kMptcp && config_.full_mesh) {
+    // Open a subflow from every additional local address (section 3.2:
+    // the implicit, client-initiated path).
+    for (IpAddr addr : stack_.host().addresses()) {
+      if (addr == sf->local().addr) continue;
+      open_subflow(addr, sf->remote());
+    }
+  }
+  // A server's join subflows only learn their usability from the third
+  // ACK; in all cases newly usable capacity should be fed.
+  schedule();
+}
+
+void MptcpConnection::sf_closed(MptcpSubflow* sf, bool reset) {
+  (void)reset;
+  // Re-inject everything this subflow still owed (section 3.3: data is
+  // freed only by DATA_ACK, so it is still in the connection-level buffer).
+  for (auto& [dsn, rec] : alloc_) {
+    if (rec.subflow_id != sf->id()) continue;
+    const uint64_t begin = std::max(dsn, snd_una_d_);
+    const uint64_t end = dsn + rec.len;
+    if (end > begin) reinject_range(begin, end - begin);
+    rec.subflow_id = SIZE_MAX;
+  }
+  bool any_open = false;
+  for (const auto& s : subflows_) {
+    if (s->state() != TcpState::kClosed) any_open = true;
+  }
+  if (!any_open) {
+    notify_closed_once();
+  } else {
+    schedule();
+  }
+}
+
+void MptcpConnection::sf_peer_fin(MptcpSubflow* sf) {
+  (void)sf;
+  if (mode_ == MptcpMode::kFallbackTcp && !data_fin_delivered_) {
+    // In fallback the subflow FIN *is* the end of the data stream.
+    data_fin_delivered_ = true;
+    if (on_readable) on_readable();
+  }
+}
+
+void MptcpConnection::sf_acked(MptcpSubflow* sf) {
+  (void)sf;
+  schedule();
+}
+
+void MptcpConnection::sf_dss_ack(uint64_t data_ack, uint64_t window_bytes) {
+  const uint64_t edge = data_ack + window_bytes;
+  if (edge > meta_right_edge_) meta_right_edge_ = edge;
+
+  if (data_ack > snd_una_d_ && data_ack <= snd_nxt_d_ + 1) {
+    meta_snd_.free_through(std::min(data_ack, meta_snd_.end_seq()));
+    snd_una_d_ = data_ack;
+    for (auto it = alloc_.begin(); it != alloc_.end();) {
+      if (it->first + it->second.len <= snd_una_d_) {
+        it = alloc_.erase(it);
+      } else {
+        break;
+      }
+    }
+    meta_rto_backoff_ = 1;
+    meta_rto_timer_.cancel();  // restart relative to this progress
+    arm_meta_rto();
+    if (data_fin_allocated_ && !data_fin_acked_ &&
+        data_ack > data_fin_dsn_) {
+      data_fin_acked_ = true;
+      meta_rto_timer_.cancel();
+      // Section 3.4: once the DATA_FIN is DATA_ACKed, close each subflow
+      // with a regular FIN. A subflow still mid-handshake cannot FIN;
+      // abort it so the peer's half does not linger retransmitting.
+      for (auto& s : subflows_) {
+        if (s->state() == TcpState::kClosed) continue;
+        if (s->can_send_data() || s->can_send_ack()) {
+          s->close();
+        } else {
+          s->abort();
+        }
+      }
+    }
+    if (on_send_space && meta_snd_.size() < meta_snd_capacity_) {
+      on_send_space();
+    }
+  }
+  schedule();
+}
+
+void MptcpConnection::sf_mapped_data(MptcpSubflow* sf, uint64_t dsn,
+                                     std::vector<uint8_t> bytes) {
+  if (bytes.empty()) return;
+  const uint64_t end = dsn + bytes.size();
+  if (end <= rcv_nxt_d_) {
+    meta_stats_.rx_duplicate_bytes += bytes.size();  // re-injection copy
+    return;
+  }
+  if (dsn < rcv_nxt_d_) {
+    meta_stats_.rx_duplicate_bytes += static_cast<size_t>(rcv_nxt_d_ - dsn);
+    bytes.erase(bytes.begin(),
+                bytes.begin() + static_cast<size_t>(rcv_nxt_d_ - dsn));
+    dsn = rcv_nxt_d_;
+  }
+  // Connection-level window enforcement: data beyond the advertised
+  // window is dropped here even though it was in-window at the subflow
+  // level (section 3.3.5).
+  const uint64_t max_accept =
+      rcv_nxt_d_ + meta_receive_window() + config_.tcp.mss;
+  if (dsn >= max_accept) return;
+  if (end > max_accept) {
+    bytes.resize(static_cast<size_t>(max_accept - dsn));
+  }
+
+  if (dsn == rcv_nxt_d_) {
+    rcv_nxt_d_ += bytes.size();
+    rx_bytes_by_sf_[sf->id()] += bytes.size();
+    deliver_in_order(std::move(bytes));
+    drain_meta_ooo();
+  } else {
+    rx_bytes_by_sf_[sf->id()] += bytes.size();
+    meta_recv_.insert(dsn, std::move(bytes), sf->id(), rcv_nxt_d_);
+  }
+  check_data_fin_consumption();
+}
+
+void MptcpConnection::sf_fallback_data(std::vector<uint8_t> bytes) {
+  rcv_nxt_d_ += bytes.size();  // keeps DATA_ACK bookkeeping harmless
+  deliver_in_order(std::move(bytes));
+}
+
+void MptcpConnection::deliver_in_order(std::vector<uint8_t> bytes) {
+  delivered_bytes_ += bytes.size();
+  app_rx_.insert(app_rx_.end(), bytes.begin(), bytes.end());
+  if (on_readable) on_readable();
+}
+
+void MptcpConnection::drain_meta_ooo() {
+  while (auto chunk = meta_recv_.pop_ready(rcv_nxt_d_)) {
+    rcv_nxt_d_ += chunk->bytes.size();
+    deliver_in_order(std::move(chunk->bytes));
+  }
+}
+
+void MptcpConnection::check_data_fin_consumption() {
+  if (remote_data_fin_seen_ && !data_fin_delivered_ &&
+      rcv_nxt_d_ == remote_data_fin_dsn_) {
+    rcv_nxt_d_ += 1;  // the DATA_FIN occupies one data octet
+    data_fin_delivered_ = true;
+    // The DATA_FIN may ride a pure ACK, which generates no subflow-level
+    // acknowledgment of its own -- emit the DATA_ACK explicitly so the
+    // peer can finish its teardown (section 3.4).
+    for (auto& sf : subflows_) {
+      if (sf->can_send_ack()) {
+        sf->push_meta_ack();
+        break;
+      }
+    }
+    if (on_readable) on_readable();
+  }
+}
+
+void MptcpConnection::sf_data_fin(uint64_t dsn) {
+  if (mode_ != MptcpMode::kMptcp) return;
+  remote_data_fin_seen_ = true;
+  remote_data_fin_dsn_ = dsn;
+  check_data_fin_consumption();
+}
+
+void MptcpConnection::sf_checksum_failure(MptcpSubflow* sf,
+                                          const MappingRecord& rec,
+                                          std::vector<uint8_t> data) {
+  ++meta_stats_.checksum_failures;
+  if (usable_subflow_count() > 1) {
+    // Section 3.3.6: reject the modified segment and terminate the
+    // subflow; the transfer continues on the others (the data is still
+    // held at the connection level and will be re-injected).
+    ++meta_stats_.subflow_resets;
+    no_new_subflows_ = true;
+    sf->abort();
+    return;
+  }
+  // Only one subflow: fall back to TCP-like behaviour for the remainder,
+  // letting the middlebox rewrite as it wishes. The modified bytes are
+  // delivered and verification is disabled from here on.
+  ++meta_stats_.fallbacks;
+  checksum_in_use_ = false;
+  no_new_subflows_ = true;
+  sf_mapped_data(sf, rec.dsn, std::move(data));
+}
+
+void MptcpConnection::sf_add_addr(const AddAddrOption& opt) {
+  if (role_ != Role::kClient || !config_.full_mesh ||
+      mode_ != MptcpMode::kMptcp) {
+    return;
+  }
+  // Open a subflow from each local address to the advertised one.
+  for (const auto& sf : subflows_) {
+    if (sf->remote().addr == opt.addr) return;  // already connected there
+  }
+  const Port port =
+      opt.port ? *opt.port
+               : (subflows_.empty() ? Port{0} : subflows_[0]->remote().port);
+  for (IpAddr addr : stack_.host().addresses()) {
+    open_subflow(addr, Endpoint{opt.addr, port});
+  }
+}
+
+void MptcpConnection::sf_remove_addr(uint8_t addr_id) {
+  // Close subflows whose peer address id matches (section 3.4).
+  for (auto& sf : subflows_) {
+    if (sf->state() == TcpState::kClosed) continue;
+    if (sf->peer_addr_id() == addr_id && !sf->is_initial()) sf->abort();
+  }
+}
+
+void MptcpConnection::sf_mp_prio(MptcpSubflow* sf, const MpPrioOption& opt) {
+  // The peer asks us to change our *sending* priority: for the subflow
+  // carrying the option, or for all subflows toward one of its addresses.
+  if (opt.addr_id) {
+    for (auto& s : subflows_) {
+      if (s->peer_addr_id() == *opt.addr_id) s->set_backup(opt.backup);
+    }
+  } else {
+    sf->set_backup(opt.backup);
+  }
+  schedule();
+}
+
+void MptcpConnection::set_subflow_backup(size_t i, bool backup) {
+  MptcpSubflow* sf = subflow(i);
+  if (sf == nullptr) return;
+  sf->set_backup(backup);
+  if (sf->can_send_ack()) {
+    sf->queue_control_option(MpPrioOption{backup, std::nullopt});
+    sf->flush_control_options();
+  }
+}
+
+void MptcpConnection::sf_fastclose() {
+  for (auto& sf : subflows_) {
+    if (sf->state() != TcpState::kClosed) sf->abort();
+  }
+  notify_closed_once();
+}
+
+void MptcpConnection::remove_local_address(IpAddr addr) {
+  // Tell the peer on a surviving subflow first, then drop local state.
+  uint8_t addr_id = 0;
+  const auto addrs = stack_.host().addresses();
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    if (addrs[i] == addr) addr_id = static_cast<uint8_t>(i);
+  }
+  MptcpSubflow* survivor = nullptr;
+  for (auto& sf : subflows_) {
+    if (sf->state() != TcpState::kClosed && sf->local().addr != addr) {
+      survivor = sf.get();
+      break;
+    }
+  }
+  if (survivor != nullptr) {
+    survivor->queue_control_option(RemoveAddrOption{addr_id});
+    survivor->flush_control_options();
+  }
+  for (auto& sf : subflows_) {
+    if (sf->state() != TcpState::kClosed && sf->local().addr == addr) {
+      sf->abort();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive window / DATA_ACK.
+// ---------------------------------------------------------------------------
+
+uint64_t MptcpConnection::meta_data_ack_value() const { return rcv_nxt_d_; }
+
+uint64_t MptcpConnection::meta_receive_window() const {
+  const size_t used = app_rx_.size();
+  return meta_rcv_capacity_ > used ? meta_rcv_capacity_ - used : 0;
+}
+
+void MptcpConnection::maybe_send_meta_window_update() {
+  const uint64_t wnd = meta_receive_window();
+  if (wnd > last_advertised_meta_window_ &&
+      wnd - last_advertised_meta_window_ >= config_.tcp.mss) {
+    last_advertised_meta_window_ = wnd;
+    for (auto& sf : subflows_) {
+      if (sf->established()) sf->push_meta_ack();
+    }
+  }
+}
+
+size_t MptcpConnection::receiver_memory() const {
+  size_t n = meta_recv_.ooo_bytes();
+  for (const auto& sf : subflows_) n += sf->rcv_buf_in_use();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler (sender side).
+// ---------------------------------------------------------------------------
+
+MptcpSubflow* MptcpConnection::pick_subflow(uint64_t min_space) {
+  if (config_.scheduler == SchedulerPolicy::kRoundRobin) {
+    // Rotate across usable subflows with window space, ignoring RTTs --
+    // the strawman policy, kept for ablation (bench/ablation_scheduler).
+    const size_t n = subflows_.size();
+    for (size_t probe = 0; probe < n; ++probe) {
+      MptcpSubflow* sf = subflows_[(rr_next_ + probe) % n].get();
+      if (sf->mptcp_usable() && !sf->backup() &&
+          sf->cwnd_space() >= min_space) {
+        rr_next_ = (rr_next_ + probe + 1) % n;
+        return sf;
+      }
+    }
+    // Fall through to the default policy for the backup-only case.
+  }
+
+  MptcpSubflow* best = nullptr;
+  MptcpSubflow* best_backup = nullptr;
+  bool regular_alive = false;
+  for (auto& sf : subflows_) {
+    if (!sf->mptcp_usable()) continue;
+    if (!sf->backup()) regular_alive = true;
+    if (sf->cwnd_space() < min_space) continue;
+    MptcpSubflow*& slot = sf->backup() ? best_backup : best;
+    if (slot == nullptr || sf->srtt() < slot->srtt()) slot = sf.get();
+  }
+  if (best != nullptr) return best;
+  // A backup subflow only carries data when no regular subflow is alive
+  // (not merely when the primary's window is momentarily full).
+  return regular_alive ? nullptr : best_backup;
+}
+
+uint64_t MptcpConnection::total_subflow_flight() const {
+  uint64_t total = 0;
+  for (const auto& sf : subflows_) total += sf->flight_size();
+  return total;
+}
+
+MptcpSubflow* MptcpConnection::best_usable_subflow() {
+  // Prefer subflows that can actually transmit right now: a silently dead
+  // path keeps a deceptively low srtt while its window is jammed shut.
+  MptcpSubflow* best = nullptr;
+  MptcpSubflow* fallback = nullptr;
+  for (auto& sf : subflows_) {
+    if (!sf->mptcp_usable()) continue;
+    if (fallback == nullptr || sf->srtt() < fallback->srtt()) {
+      fallback = sf.get();
+    }
+    if (sf->cwnd_space() == 0) continue;
+    if (best == nullptr || sf->srtt() < best->srtt()) best = sf.get();
+  }
+  return best != nullptr ? best : fallback;
+}
+
+void MptcpConnection::schedule() {
+  if (mode_ != MptcpMode::kMptcp) return;
+
+  const uint64_t batch_bytes =
+      uint64_t{config_.batch_segments} * config_.tcp.mss;
+
+  if (config_.scheduler == SchedulerPolicy::kRedundant) {
+    // Every subflow independently carries the whole stream: each keeps
+    // its own cursor into the data sequence space and fills its window
+    // with (mostly duplicate) copies. Maximum robustness, zero
+    // aggregation.
+    for (auto& sf : subflows_) {
+      if (!sf->mptcp_usable()) continue;
+      uint64_t& ptr = redundant_ptr_[sf->id()];
+      ptr = std::max(ptr, snd_una_d_);
+      for (;;) {
+        const uint64_t limit =
+            std::min(meta_snd_.end_seq(), meta_right_edge_);
+        if (ptr >= limit) break;
+        const uint64_t n = std::min<uint64_t>(
+            {batch_bytes, limit - ptr, sf->cwnd_space()});
+        if (n == 0) break;
+        std::vector<uint8_t> bytes;
+        meta_snd_.copy_out(ptr, static_cast<size_t>(n), bytes);
+        if (ptr + n > snd_nxt_d_) {
+          // First coverage of this range: record the allocation.
+          alloc_[snd_nxt_d_] = Alloc{ptr + n - snd_nxt_d_, sf->id()};
+          snd_nxt_d_ = ptr + n;
+        } else {
+          meta_stats_.reinjected_bytes += n;  // a duplicate copy
+        }
+        sf->push_mapped(ptr, std::move(bytes));
+        ptr += n;
+        sf->try_send();
+      }
+    }
+    if (data_fin_pending_ && !data_fin_allocated_ &&
+        snd_nxt_d_ == meta_snd_.end_seq()) {
+      data_fin_allocated_ = true;
+      data_fin_dsn_ = snd_nxt_d_;
+      if (MptcpSubflow* sf = best_usable_subflow()) {
+        sf->send_data_fin(data_fin_dsn_);
+      }
+    }
+    arm_meta_rto();
+    return;
+  }
+
+  for (;;) {
+    MptcpSubflow* sf = pick_subflow();
+    if (sf == nullptr) break;
+
+    // Re-injections (from dead subflows or the meta RTO) go first.
+    if (!reinject_.empty()) {
+      auto [dsn, len] = reinject_.front();
+      reinject_.pop_front();
+      const uint64_t begin = std::max(dsn, snd_una_d_);
+      const uint64_t end = dsn + len;
+      if (end <= begin) continue;
+      uint64_t n = std::min<uint64_t>({end - begin, sf->cwnd_space(),
+                                       batch_bytes});
+      if (n == 0) {
+        reinject_.push_front({begin, end - begin});
+        break;
+      }
+      std::vector<uint8_t> bytes;
+      meta_snd_.copy_out(begin, static_cast<size_t>(n), bytes);
+      meta_stats_.reinjected_bytes += n;
+      sf->push_mapped(begin, std::move(bytes));
+      sf->try_send();
+      if (begin + n < end) reinject_.push_front({begin + n, end - begin - n});
+      continue;
+    }
+
+    const uint64_t avail = meta_snd_.end_seq() - snd_nxt_d_;
+    const uint64_t window_room =
+        meta_right_edge_ > snd_nxt_d_ ? meta_right_edge_ - snd_nxt_d_ : 0;
+
+    if (avail == 0 || window_room == 0) {
+      // `sf` has congestion window to spare but the connection cannot
+      // give it new data: either the shared receive window is full, or
+      // the (equally sized) send buffer is fully allocated with its
+      // trailing edge unacknowledged -- both are the "window stall" of
+      // section 4.2, held up by whichever subflow owns the oldest chunk.
+      if (snd_una_d_ < snd_nxt_d_) window_blocked(sf);
+      break;
+    }
+
+    const uint64_t n = std::min<uint64_t>(
+        {batch_bytes, avail, window_room, sf->cwnd_space()});
+    if (n == 0) break;
+
+    std::vector<uint8_t> bytes;
+    meta_snd_.copy_out(snd_nxt_d_, static_cast<size_t>(n), bytes);
+    alloc_[snd_nxt_d_] = Alloc{n, sf->id()};
+    sf->push_mapped(snd_nxt_d_, std::move(bytes));
+    snd_nxt_d_ += n;
+    sf->try_send();
+  }
+
+  // DATA_FIN once everything is allocated (section 3.4: it can be sent
+  // immediately when the application closes, independent of subflow FINs).
+  if (data_fin_pending_ && !data_fin_allocated_ &&
+      snd_nxt_d_ == meta_snd_.end_seq()) {
+    data_fin_allocated_ = true;
+    data_fin_dsn_ = snd_nxt_d_;
+    if (MptcpSubflow* sf = best_usable_subflow()) {
+      sf->send_data_fin(data_fin_dsn_);
+    }
+  }
+
+  arm_meta_rto();
+}
+
+void MptcpConnection::window_blocked(MptcpSubflow* fast) {
+  if (alloc_.empty()) return;
+  const auto& [dsn0, rec0] = *alloc_.begin();
+
+  // Only act when the trailing edge is held by a genuinely *slower*
+  // subflow (the reference implementation's guard): the fast path briefly
+  // holding its own in-flight data is not a stall.
+  MptcpSubflow* slow = nullptr;
+  for (auto& sf : subflows_) {
+    if (sf->id() == rec0.subflow_id) slow = sf.get();
+  }
+  if (slow != nullptr && slow->srtt() <= fast->srtt()) return;
+
+  // Mechanism 1 -- opportunistic retransmission: the fast subflow has
+  // congestion window to spare but the shared window is full; resend the
+  // data holding up the trailing edge on the fast path so the window can
+  // advance at the fast path's pace (section 4.2). Ranges are reinjected
+  // at most once (reinjected_until_ is monotonic); the fast path's spare
+  // window bounds how much head-of-line data each stall rescues.
+  if (config_.opportunistic_retransmit && rec0.subflow_id != fast->id()) {
+    uint64_t start = std::max(snd_una_d_, reinjected_until_);
+    uint64_t budget = fast->cwnd_space();
+    bool any = false;
+    auto it = alloc_.upper_bound(start);
+    if (it != alloc_.begin()) --it;
+    while (budget > 0 && it != alloc_.end()) {
+      const uint64_t b = std::max(it->first, start);
+      const uint64_t e = it->first + it->second.len;
+      if (b >= e) {
+        ++it;
+        continue;
+      }
+      if (it->second.subflow_id == fast->id()) break;  // fast path's own
+      const uint64_t n = std::min(e - b, budget);
+      std::vector<uint8_t> bytes;
+      meta_snd_.copy_out(b, static_cast<size_t>(n), bytes);
+      fast->push_mapped(b, std::move(bytes));
+      meta_stats_.reinjected_bytes += n;
+      budget -= n;
+      start = b + n;
+      any = true;
+      if (b + n < e) break;
+      ++it;
+    }
+    if (any) {
+      fast->try_send();
+      ++meta_stats_.opportunistic_retransmits;
+      reinjected_until_ = start;
+    }
+  }
+
+  // Mechanism 2 -- penalization: halve the cwnd of the subflow that is
+  // holding up the window so this does not immediately repeat, at most
+  // once per that subflow's RTT (section 4.2).
+  if (config_.penalize_slow_subflows && rec0.subflow_id != fast->id() &&
+      rec0.subflow_id != SIZE_MAX) {
+    for (auto& sf : subflows_) {
+      if (sf->id() != rec0.subflow_id || !sf->mptcp_usable()) continue;
+      const SimTime now = stack_.loop().now();
+      auto it = next_penalty_at_.find(sf->id());
+      if (it == next_penalty_at_.end() || now >= it->second) {
+        sf->congestion_control().penalize();
+        next_penalty_at_[sf->id()] = now + std::max(sf->srtt(), kMillisecond);
+        ++meta_stats_.penalizations;
+      }
+      break;
+    }
+  }
+}
+
+void MptcpConnection::reinject_range(uint64_t dsn, uint64_t len) {
+  reinject_.emplace_back(dsn, len);
+}
+
+// ---------------------------------------------------------------------------
+// Connection-level retransmission timer.
+// ---------------------------------------------------------------------------
+
+void MptcpConnection::arm_meta_rto() {
+  const bool outstanding =
+      snd_una_d_ < snd_nxt_d_ || (data_fin_allocated_ && !data_fin_acked_);
+  if (!outstanding || mode_ != MptcpMode::kMptcp) {
+    meta_rto_timer_.cancel();
+    return;
+  }
+  // Never push an already-armed deadline into the future: the timer is
+  // restarted only on DATA_ACK progress or after firing.
+  if (meta_rto_timer_.armed()) return;
+  SimTime max_srtt = 0;
+  for (const auto& sf : subflows_) max_srtt = std::max(max_srtt, sf->srtt());
+  const SimTime base = std::max(config_.meta_rto_min, 4 * max_srtt);
+  meta_rto_timer_.arm_at(stack_.loop().now() + base * meta_rto_backoff_);
+}
+
+void MptcpConnection::on_meta_rto() {
+  if (mode_ != MptcpMode::kMptcp) return;
+  ++meta_stats_.meta_rtx_timeouts;
+  meta_rto_backoff_ = std::min(meta_rto_backoff_ * 2, 64);
+
+  if (snd_una_d_ < snd_nxt_d_) {
+    // No DATA_ACK progress for a full meta-RTO: presume the data is stuck
+    // on a dead or dying path and re-inject the outstanding window (up to
+    // a burst bound) through whatever subflows can carry it.
+    constexpr uint64_t kRtoBurst = 64 * 1024;
+    reinject_.clear();  // stale entries are re-derived from snd_una_d
+    reinject_range(snd_una_d_,
+                   std::min(snd_nxt_d_ - snd_una_d_, kRtoBurst));
+    schedule();
+  } else if (data_fin_allocated_ && !data_fin_acked_) {
+    if (MptcpSubflow* sf = best_usable_subflow()) {
+      sf->send_data_fin(data_fin_dsn_);
+    }
+  }
+  arm_meta_rto();
+}
+
+// ---------------------------------------------------------------------------
+// Autotuning (Mechanism 3).
+// ---------------------------------------------------------------------------
+
+void MptcpConnection::autotune_tick() {
+  autotune_timer_.arm_in(kAutotunePeriod);
+  if (mode_ != MptcpMode::kMptcp) return;
+  const SimTime now = stack_.loop().now();
+  const SimTime dt = last_autotune_ == 0 ? kAutotunePeriod
+                                         : now - last_autotune_;
+  last_autotune_ = now;
+  if (dt <= 0) return;
+
+  double sum_tx_rate = 0, sum_rx_rate = 0;
+  SimTime rtt_max_tx = 0, rtt_max_rx = 0;
+  for (const auto& sf : subflows_) {
+    if (!sf->mptcp_usable()) continue;
+    // Sender-side rate: subflow-acked bytes per second (EMA smoothed).
+    const uint64_t acked = sf->stats().bytes_acked;
+    const uint64_t d_acked = acked - last_acked_by_sf_[sf->id()];
+    last_acked_by_sf_[sf->id()] = acked;
+    double& tx = tx_rate_bps_[sf->id()];
+    const double inst_tx =
+        static_cast<double>(d_acked) * 8.0 * kSecond / static_cast<double>(dt);
+    tx = tx == 0 ? inst_tx : 0.75 * tx + 0.25 * inst_tx;
+    sum_tx_rate += tx;
+    if (tx > 0) rtt_max_tx = std::max(rtt_max_tx, sf->srtt());
+
+    // Receiver-side rate: delivered mapped bytes per second.
+    const uint64_t recvd = rx_bytes_by_sf_[sf->id()];
+    const uint64_t d_recvd = recvd - last_delivered_by_sf_[sf->id()];
+    last_delivered_by_sf_[sf->id()] = recvd;
+    double& rx = rx_rate_bps_[sf->id()];
+    const double inst_rx =
+        static_cast<double>(d_recvd) * 8.0 * kSecond /
+        static_cast<double>(dt);
+    rx = rx == 0 ? inst_rx : 0.75 * rx + 0.25 * inst_rx;
+    sum_rx_rate += rx;
+    const SimTime rcv_rtt =
+        sf->receiver_rtt() > 0 ? sf->receiver_rtt() : sf->srtt();
+    if (rx > 0) rtt_max_rx = std::max(rtt_max_rx, rcv_rtt);
+  }
+
+  // The paper's formula: buffer = 2 * sum(x_i) * RTT_max (section 4.2).
+  const size_t snd_target = static_cast<size_t>(
+      2.0 * sum_tx_rate / 8.0 * to_seconds(rtt_max_tx));
+  const size_t rcv_target = static_cast<size_t>(
+      2.0 * sum_rx_rate / 8.0 * to_seconds(rtt_max_rx));
+  meta_snd_capacity_ = std::min(
+      config_.meta_snd_buf_max, std::max(meta_snd_capacity_, snd_target));
+  const size_t old_rcv = meta_rcv_capacity_;
+  meta_rcv_capacity_ = std::min(
+      config_.meta_rcv_buf_max, std::max(meta_rcv_capacity_, rcv_target));
+  if (meta_rcv_capacity_ > old_rcv) maybe_send_meta_window_update();
+}
+
+// ---------------------------------------------------------------------------
+// Teardown.
+// ---------------------------------------------------------------------------
+
+void MptcpConnection::notify_closed_once() {
+  if (closed_notified_) return;
+  closed_notified_ = true;
+  meta_rto_timer_.cancel();
+  autotune_timer_.cancel();
+  // The token names an *established* connection (section 5.2); release
+  // it as soon as the connection closes so the table reflects live state.
+  if (token_registered_) {
+    stack_.tokens().unregister(local_token_);
+    token_registered_ = false;
+  }
+  if (on_closed) on_closed();
+  if (auto_destroy_) stack_.destroy_later(this);
+}
+
+void MptcpConnection::maybe_finish_teardown() {}
+
+}  // namespace mptcp

@@ -1,0 +1,53 @@
+#include "core/mptcp_stack.h"
+
+namespace mptcp {
+
+MptcpStack::MptcpStack(Host& host, MptcpConfig config)
+    : host_(host),
+      config_(config),
+      tokens_(config.tcp.seed ^ 0xABCD),
+      rng_(config.tcp.seed ^ 0x1234) {}
+
+MptcpStack::~MptcpStack() = default;
+
+MptcpConnection& MptcpStack::connect(IpAddr local_addr, Endpoint remote) {
+  auto conn = std::make_unique<MptcpConnection>(
+      *this, Endpoint{local_addr, host_.alloc_ephemeral_port()}, remote);
+  MptcpConnection& ref = *conn;
+  conns_.push_back(std::move(conn));
+  ref.connect();
+  return ref;
+}
+
+void MptcpStack::listen(Port port, AcceptCallback cb) {
+  listeners_.push_back(
+      std::make_unique<Listener>(*this, port, std::move(cb)));
+}
+
+void MptcpStack::handle_syn(const TcpSegment& seg, const AcceptCallback& cb) {
+  if (const auto* join = find_option<MpJoinOption>(seg.options)) {
+    // MP_JOIN: route to the owning connection by token; unknown tokens are
+    // silently ignored (an RST would aid blind probing).
+    if (MptcpConnection* conn = tokens_.find(join->token)) {
+      conn->accept_join(seg);
+    }
+    return;
+  }
+  auto conn = std::make_unique<MptcpConnection>(*this, seg);
+  MptcpConnection& ref = *conn;
+  conns_.push_back(std::move(conn));
+  ref.accept(seg);
+  cb(ref);
+}
+
+void MptcpStack::destroy_later(MptcpConnection* conn) {
+  // Deletion is deferred to a fresh event so it is safe from within the
+  // connection's own callbacks.
+  loop().schedule_in(0, [this, conn] {
+    std::erase_if(conns_, [conn](const std::unique_ptr<MptcpConnection>& c) {
+      return c.get() == conn;
+    });
+  });
+}
+
+}  // namespace mptcp

@@ -1,0 +1,75 @@
+// Host-wide MPTCP state: the token table, listeners, and connection
+// ownership. One MptcpStack per simulated host.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/keys.h"
+#include "core/mptcp_connection.h"
+#include "core/mptcp_types.h"
+#include "sim/network.h"
+
+namespace mptcp {
+
+class MptcpStack {
+ public:
+  MptcpStack(Host& host, MptcpConfig config);
+  ~MptcpStack();
+
+  MptcpStack(const MptcpStack&) = delete;
+  MptcpStack& operator=(const MptcpStack&) = delete;
+
+  Host& host() { return host_; }
+  EventLoop& loop() { return host_.loop(); }
+  const MptcpConfig& config() const { return config_; }
+  MptcpConfig& config() { return config_; }
+  TokenTable& tokens() { return tokens_; }
+  Rng& rng() { return rng_; }
+
+  /// Active open from `local_addr` (an address of this host) to `remote`.
+  /// The stack owns the connection; it is destroyed after close.
+  MptcpConnection& connect(IpAddr local_addr, Endpoint remote);
+
+  /// Passive open: accepted connections are handed to the callback.
+  using AcceptCallback = std::function<void(MptcpConnection&)>;
+  void listen(Port port, AcceptCallback cb);
+
+  /// Deferred destruction (safe to call from connection callbacks).
+  void destroy_later(MptcpConnection* conn);
+
+  size_t live_connections() const { return conns_.size(); }
+  /// Introspection (tests/tooling): the i-th live connection.
+  MptcpConnection* connection(size_t i) {
+    return i < conns_.size() ? conns_[i].get() : nullptr;
+  }
+
+ private:
+  class Listener : public ListenHandler {
+   public:
+    Listener(MptcpStack& stack, Port port, AcceptCallback cb)
+        : stack_(stack), port_(port), cb_(std::move(cb)) {
+      stack_.host().listen(port_, this);
+    }
+    ~Listener() override { stack_.host().unlisten(port_); }
+    void on_syn(const TcpSegment& seg) override { stack_.handle_syn(seg, cb_); }
+
+   private:
+    MptcpStack& stack_;
+    Port port_;
+    AcceptCallback cb_;
+  };
+
+  void handle_syn(const TcpSegment& seg, const AcceptCallback& cb);
+
+  Host& host_;
+  MptcpConfig config_;
+  TokenTable tokens_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  std::vector<std::unique_ptr<MptcpConnection>> conns_;
+};
+
+}  // namespace mptcp

@@ -1,0 +1,14 @@
+#include "core/scheduler.h"
+
+namespace mptcp {
+
+std::string_view to_string(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::kLowestRtt: return "lowest-rtt";
+    case SchedulerPolicy::kRoundRobin: return "round-robin";
+    case SchedulerPolicy::kRedundant: return "redundant";
+  }
+  return "?";
+}
+
+}  // namespace mptcp

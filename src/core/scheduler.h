@@ -1,0 +1,27 @@
+// Pluggable packet scheduling policies.
+//
+// The paper's implementation sends "a new packet on the lowest delay link
+// that has space in its congestion window" (section 4.2); that is the
+// default policy here. Two alternatives are provided for ablation:
+// round-robin (what naive striping would do -- the strawman of section 3)
+// and redundant (every chunk on every subflow; the robustness-over-
+// throughput extreme discussed in the multipath literature the paper
+// cites).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mptcp {
+
+class MptcpSubflow;
+
+enum class SchedulerPolicy : uint8_t {
+  kLowestRtt,   ///< the paper's scheduler (default)
+  kRoundRobin,  ///< rotate across subflows with window space
+  kRedundant,   ///< duplicate every chunk on every usable subflow
+};
+
+std::string_view to_string(SchedulerPolicy p);
+
+}  // namespace mptcp

@@ -1,0 +1,82 @@
+// Middlebox modelling framework (section 4.1 of the paper).
+//
+// The paper validates MPTCP's design against Click elements modelling the
+// middlebox behaviours its measurement study found in the wild: NATs,
+// sequence-number rewriters, option strippers, segment splitters (TSO),
+// segment coalescers (traffic normalizers), pro-active ACKers (proxies)
+// and payload modifiers (application-level gateways). The same catalogue
+// is implemented here as in-path elements for the simulator.
+//
+// Unidirectional elements derive from SimpleMiddlebox and are spliced into
+// one direction of a path. Stateful elements that must observe both
+// directions (NAT, sequence rewriting, proxies) derive from
+// DuplexMiddlebox and expose separate forward/reverse sinks.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_loop.h"
+#include "sim/node.h"
+
+namespace mptcp {
+
+/// One-directional in-path element.
+class SimpleMiddlebox : public PacketSink {
+ public:
+  void set_target(PacketSink* t) { target_ = t; }
+  PacketSink* target() const { return target_; }
+
+  void deliver(TcpSegment seg) final {
+    ++seen_;
+    process(std::move(seg));
+  }
+
+  uint64_t segments_seen() const { return seen_; }
+
+ protected:
+  virtual void process(TcpSegment seg) = 0;
+  void emit(TcpSegment seg) {
+    if (target_ != nullptr) target_->deliver(std::move(seg));
+  }
+
+ private:
+  PacketSink* target_ = nullptr;
+  uint64_t seen_ = 0;
+};
+
+/// Two-directional element: owns a forward sink (toward the server) and a
+/// reverse sink (toward the client) that share state.
+class DuplexMiddlebox {
+ public:
+  virtual ~DuplexMiddlebox() = default;
+
+  PacketSink& forward_sink() { return fwd_; }
+  PacketSink& reverse_sink() { return rev_; }
+  void set_forward_target(PacketSink* t) { fwd_target_ = t; }
+  void set_reverse_target(PacketSink* t) { rev_target_ = t; }
+
+ protected:
+  virtual void on_forward(TcpSegment seg) = 0;
+  virtual void on_reverse(TcpSegment seg) = 0;
+  void emit_forward(TcpSegment seg) {
+    if (fwd_target_ != nullptr) fwd_target_->deliver(std::move(seg));
+  }
+  void emit_reverse(TcpSegment seg) {
+    if (rev_target_ != nullptr) rev_target_->deliver(std::move(seg));
+  }
+
+ private:
+  struct Adapter : PacketSink {
+    explicit Adapter(std::function<void(TcpSegment)> fn)
+        : fn_(std::move(fn)) {}
+    void deliver(TcpSegment seg) override { fn_(std::move(seg)); }
+    std::function<void(TcpSegment)> fn_;
+  };
+
+  Adapter fwd_{[this](TcpSegment s) { on_forward(std::move(s)); }};
+  Adapter rev_{[this](TcpSegment s) { on_reverse(std::move(s)); }};
+  PacketSink* fwd_target_ = nullptr;
+  PacketSink* rev_target_ = nullptr;
+};
+
+}  // namespace mptcp

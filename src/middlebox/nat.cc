@@ -1,0 +1,23 @@
+#include "middlebox/nat.h"
+
+namespace mptcp {
+
+void Nat::on_forward(TcpSegment seg) {
+  auto it = out_map_.find(seg.tuple.src);
+  if (it == out_map_.end()) {
+    const Endpoint pub{public_addr_, next_port_++};
+    it = out_map_.emplace(seg.tuple.src, pub).first;
+    in_map_.emplace(pub, seg.tuple.src);
+  }
+  seg.tuple.src = it->second;
+  emit_forward(std::move(seg));
+}
+
+void Nat::on_reverse(TcpSegment seg) {
+  auto it = in_map_.find(seg.tuple.dst);
+  if (it == in_map_.end()) return;  // no mapping: drop (real NAT behaviour)
+  seg.tuple.dst = it->second;
+  emit_reverse(std::move(seg));
+}
+
+}  // namespace mptcp

@@ -1,0 +1,48 @@
+// Removes TCP options in flight, modelling firewalls and proxies that
+// discard options they do not understand. The paper's study found 6% of
+// paths (14% on port 80) remove unknown options from SYNs; most of those
+// also remove them from data segments (section 3.1).
+#pragma once
+
+#include "middlebox/middlebox.h"
+
+namespace mptcp {
+
+class OptionStripper final : public SimpleMiddlebox {
+ public:
+  enum class Scope {
+    kSynOnly,       ///< strips only from SYN/SYN-ACK segments
+    kNonSynOnly,    ///< strips only from non-SYN segments (nastier case)
+    kAllSegments,
+  };
+  enum class What {
+    kAllMptcp,      ///< every MPTCP (kind 30) option
+    kMpCapable,     ///< only MP_CAPABLE (kills negotiation)
+    kMpJoin,        ///< only MP_JOIN (kills subflow establishment)
+    kDss,           ///< only DSS (triggers data-level fallback)
+    kAllUnknown,    ///< everything beyond MSS/WS/TS/SACK (worst case)
+  };
+
+  OptionStripper(Scope scope, What what) : scope_(scope), what_(what) {}
+
+  uint64_t options_removed() const { return removed_; }
+
+ protected:
+  void process(TcpSegment seg) override;
+
+ private:
+  bool in_scope(const TcpSegment& seg) const {
+    switch (scope_) {
+      case Scope::kSynOnly: return seg.syn;
+      case Scope::kNonSynOnly: return !seg.syn;
+      case Scope::kAllSegments: return true;
+    }
+    return true;
+  }
+
+  Scope scope_;
+  What what_;
+  uint64_t removed_ = 0;
+};
+
+}  // namespace mptcp

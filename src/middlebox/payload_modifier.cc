@@ -1,0 +1,29 @@
+#include "middlebox/payload_modifier.h"
+
+#include "tcp/tcp_types.h"
+
+namespace mptcp {
+
+void HoleDropper::process(TcpSegment seg) {
+  if (seg.syn) {
+    expected_[seg.tuple] = seg.seq + 1;
+    emit(std::move(seg));
+    return;
+  }
+  auto it = expected_.find(seg.tuple);
+  if (it == expected_.end() || seg.payload.empty()) {
+    emit(std::move(seg));
+    return;
+  }
+  if (seq32_lt(it->second, seg.seq)) {
+    // Data after a hole: refuse to forward until the gap is filled.
+    ++dropped_;
+    return;
+  }
+  const uint32_t end = seg.seq + static_cast<uint32_t>(seg.payload.size()) +
+                       (seg.fin ? 1 : 0);
+  if (seq32_lt(it->second, end)) it->second = end;
+  emit(std::move(seg));
+}
+
+}  // namespace mptcp

@@ -1,0 +1,61 @@
+// Content-modifying middlebox (application-level gateway).
+//
+// ALGs such as FTP NAT helpers rewrite payload bytes in flight
+// (section 3.3.6). Length-preserving rewrites corrupt the data stream
+// without disturbing sequence numbers -- undetectable by anything except
+// the DSS checksum, which is exactly why the checksum exists. On
+// detection MPTCP resets the subflow (if others remain) or falls back to
+// TCP semantics, letting the middlebox rewrite as it wishes.
+//
+// This element performs a length-preserving rewrite of payload bytes.
+// (Length-changing ALGs additionally fix up sequence numbers; they break
+// every mapping scheme the paper considered and are likewise detected by
+// the checksum -- see DESIGN.md for the modelling note.)
+#pragma once
+
+#include <unordered_map>
+
+#include "middlebox/middlebox.h"
+
+namespace mptcp {
+
+class PayloadModifier final : public SimpleMiddlebox {
+ public:
+  /// Rewrites one byte of payload in every `interval`-th data segment.
+  explicit PayloadModifier(uint64_t interval = 1) : interval_(interval) {}
+
+  uint64_t segments_modified() const { return modified_; }
+
+ protected:
+  void process(TcpSegment seg) override {
+    if (!seg.payload.empty() && ++data_count_ % interval_ == 0) {
+      // Flip bits mid-payload, as an ALG replacing an address would.
+      seg.payload[seg.payload.size() / 2] ^= 0xA5;
+      ++modified_;
+    }
+    emit(std::move(seg));
+  }
+
+ private:
+  uint64_t interval_;
+  uint64_t data_count_ = 0;
+  uint64_t modified_ = 0;
+};
+
+/// Drops segments that would leave a sequence hole, modelling proxies
+/// that "do not pass on data after a hole" (5% of paths, 11% on port 80,
+/// section 3.3). Striping one sequence space across two paths would stall
+/// behind such a box; per-subflow spaces never present holes to it.
+class HoleDropper final : public SimpleMiddlebox {
+ public:
+  uint64_t holes_dropped() const { return dropped_; }
+
+ protected:
+  void process(TcpSegment seg) override;
+
+ private:
+  std::unordered_map<FourTuple, uint32_t> expected_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace mptcp

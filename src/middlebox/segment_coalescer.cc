@@ -1,0 +1,50 @@
+#include "middlebox/segment_coalescer.h"
+
+namespace mptcp {
+
+void SegmentCoalescer::flush(const FourTuple& flow) {
+  auto it = held_.find(flow);
+  if (it == held_.end() || !it->second.valid) return;
+  loop_.cancel(it->second.flush_event);
+  TcpSegment out = std::move(it->second.seg);
+  held_.erase(it);
+  emit(std::move(out));
+}
+
+void SegmentCoalescer::process(TcpSegment seg) {
+  // Control segments pass through (and flush any held data first).
+  if (seg.syn || seg.rst || seg.fin || seg.payload.empty()) {
+    flush(seg.tuple);
+    emit(std::move(seg));
+    return;
+  }
+
+  auto it = held_.find(seg.tuple);
+  if (it != held_.end() && it->second.valid) {
+    Held& h = it->second;
+    const uint32_t expected = h.seg.seq +
+                              static_cast<uint32_t>(h.seg.payload.size());
+    if (seg.seq == expected && h.merged < max_merge_) {
+      // Merge: payload concatenated, the *first* segment's options kept
+      // (there is no room for a second DSS mapping).
+      h.seg.payload.insert(h.seg.payload.end(), seg.payload.begin(),
+                           seg.payload.end());
+      h.seg.ack = seg.ack;  // most recent cumulative ack
+      h.merged += 1;
+      ++coalesced_;
+      if (h.merged >= max_merge_) flush(seg.tuple);
+      return;
+    }
+    flush(seg.tuple);
+  }
+
+  // Hold this segment awaiting a contiguous successor.
+  Held h;
+  h.seg = std::move(seg);
+  h.valid = true;
+  const FourTuple flow = h.seg.tuple;
+  h.flush_event = loop_.schedule_in(hold_time_, [this, flow] { flush(flow); });
+  held_[flow] = std::move(h);
+}
+
+}  // namespace mptcp

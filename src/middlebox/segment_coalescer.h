@@ -1,0 +1,48 @@
+// Traffic-normalizer-style segment coalescing.
+//
+// A coalescing middlebox merges consecutive in-order segments into one.
+// TCP's option space only fits one data-sequence mapping, so the merged
+// segment keeps the *first* segment's options and the second mapping is
+// lost: the receiver sees bytes with no mapping, acknowledges them only
+// at the subflow level, and the sender's connection-level retransmission
+// repairs the stream (section 3.3.5 / 4.1 -- the paper notes this costs
+// performance but preserves correctness).
+#pragma once
+
+#include <unordered_map>
+
+#include "middlebox/middlebox.h"
+
+namespace mptcp {
+
+class SegmentCoalescer final : public SimpleMiddlebox {
+ public:
+  /// Holds a segment up to `hold_time` waiting for its in-order successor;
+  /// merges at most `max_merge` payloads into one segment.
+  SegmentCoalescer(EventLoop& loop, SimTime hold_time = 500 * kMicrosecond,
+                   size_t max_merge = 2)
+      : loop_(loop), hold_time_(hold_time), max_merge_(max_merge) {}
+
+  uint64_t coalesced() const { return coalesced_; }
+
+ protected:
+  void process(TcpSegment seg) override;
+
+ private:
+  struct Held {
+    TcpSegment seg;
+    size_t merged = 1;
+    EventLoop::EventId flush_event = 0;
+    bool valid = false;
+  };
+
+  void flush(const FourTuple& flow);
+
+  EventLoop& loop_;
+  SimTime hold_time_;
+  size_t max_merge_;
+  std::unordered_map<FourTuple, Held> held_;
+  uint64_t coalesced_ = 0;
+};
+
+}  // namespace mptcp

@@ -1,0 +1,25 @@
+#include "middlebox/segment_splitter.h"
+
+namespace mptcp {
+
+void SegmentSplitter::process(TcpSegment seg) {
+  if (seg.payload.size() <= mtu_) {
+    emit(std::move(seg));
+    return;
+  }
+  ++splits_;
+  const bool fin = seg.fin;
+  size_t offset = 0;
+  while (offset < seg.payload.size()) {
+    const size_t n = std::min(mtu_, seg.payload.size() - offset);
+    TcpSegment part = seg;  // copies flags and *all options*, like TSO
+    part.seq = seg.seq + static_cast<uint32_t>(offset);
+    part.payload.assign(seg.payload.begin() + offset,
+                        seg.payload.begin() + offset + n);
+    part.fin = fin && offset + n == seg.payload.size();
+    offset += n;
+    emit(std::move(part));
+  }
+}
+
+}  // namespace mptcp

@@ -1,0 +1,38 @@
+#include "middlebox/seq_rewriter.h"
+
+namespace mptcp {
+
+void SeqRewriter::on_forward(TcpSegment seg) {
+  auto it = deltas_.find(seg.tuple);
+  if (it == deltas_.end()) {
+    if (!seg.syn) {
+      // Unknown mid-flow segment: pass through untouched.
+      emit_forward(std::move(seg));
+      return;
+    }
+    it = deltas_.emplace(seg.tuple, rng_.next_u32()).first;
+  }
+  seg.seq += it->second;
+  emit_forward(std::move(seg));
+}
+
+void SeqRewriter::on_reverse(TcpSegment seg) {
+  auto it = deltas_.find(seg.tuple.reversed());
+  if (it == deltas_.end()) {
+    emit_reverse(std::move(seg));
+    return;
+  }
+  const uint32_t delta = it->second;
+  if (seg.ack_flag) seg.ack -= delta;
+  for (auto& opt : seg.options) {
+    if (auto* sack = std::get_if<SackOption>(&opt)) {
+      for (auto& b : sack->blocks) {
+        b.begin -= delta;
+        b.end -= delta;
+      }
+    }
+  }
+  emit_reverse(std::move(seg));
+}
+
+}  // namespace mptcp

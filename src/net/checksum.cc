@@ -1,0 +1,33 @@
+#include "net/checksum.h"
+
+namespace mptcp {
+
+void ChecksumAccumulator::add_bytes(std::span<const uint8_t> data) {
+  size_t i = 0;
+  const size_t n = data.size();
+  // Sum aligned 16-bit words; accumulate into 64 bits and fold at the end.
+  for (; i + 1 < n; i += 2) {
+    sum_ += (uint16_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < n) sum_ += uint16_t{data[i]} << 8;
+}
+
+uint16_t ChecksumAccumulator::fold() const {
+  uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<uint16_t>(s);
+}
+
+uint16_t ones_complement_sum(std::span<const uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.add_bytes(data);
+  return acc.fold();
+}
+
+uint16_t internet_checksum(std::span<const uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.add_bytes(data);
+  return acc.finish();
+}
+
+}  // namespace mptcp

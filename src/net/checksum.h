@@ -1,0 +1,61 @@
+// RFC 1071 16-bit ones-complement checksum.
+//
+// The same primitive serves three purposes, exactly as in the paper
+// (section 3.3.6): the TCP wire checksum, the MPTCP DSS checksum over the
+// payload plus an MPTCP pseudo-header, and the trick that lets a software
+// implementation compute the payload sum only once and reuse it for both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mptcp {
+
+/// Ones-complement accumulator. Sums 16-bit big-endian words; odd trailing
+/// bytes are padded with zero, per RFC 1071.
+class ChecksumAccumulator {
+ public:
+  /// Adds a span of raw bytes. May be called repeatedly; byte spans are
+  /// treated as if concatenated on 16-bit boundaries (callers must add
+  /// even-length spans except for the final one, which is the only pattern
+  /// the stack uses).
+  void add_bytes(std::span<const uint8_t> data);
+
+  /// Adds one 16-bit word.
+  void add_word(uint16_t w) { sum_ += w; }
+
+  /// Adds a 32-bit value as two words.
+  void add_u32(uint32_t v) {
+    add_word(static_cast<uint16_t>(v >> 16));
+    add_word(static_cast<uint16_t>(v & 0xffff));
+  }
+
+  /// Adds a 64-bit value as four words.
+  void add_u64(uint64_t v) {
+    add_u32(static_cast<uint32_t>(v >> 32));
+    add_u32(static_cast<uint32_t>(v & 0xffffffff));
+  }
+
+  /// Adds an already-folded ones-complement sum of some block (i.e. the
+  /// *non-inverted* partial sum). This is how the payload sum is shared
+  /// between the TCP and DSS checksums.
+  void add_partial(uint16_t folded_sum) { sum_ += folded_sum; }
+
+  /// Folded (carry-wrapped) 16-bit partial sum, not inverted.
+  uint16_t fold() const;
+
+  /// Final checksum: ones-complement of the folded sum.
+  uint16_t finish() const { return static_cast<uint16_t>(~fold()); }
+
+ private:
+  uint64_t sum_ = 0;
+};
+
+/// Folded, non-inverted ones-complement sum of a byte span.
+uint16_t ones_complement_sum(std::span<const uint8_t> data);
+
+/// Final (inverted) RFC 1071 checksum of a byte span.
+uint16_t internet_checksum(std::span<const uint8_t> data);
+
+}  // namespace mptcp

@@ -1,0 +1,198 @@
+// TCP option model.
+//
+// Options are modelled as a variant of typed structs rather than raw bytes:
+// the simulator's middleboxes need to inspect, strip and copy options, and
+// the MPTCP engine needs to attach and parse its own. A wire codec
+// (wire.h) maps these structs to/from the RFC 793 / RFC 6824 byte layout so
+// that sizes, alignment and checksums are faithful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace mptcp {
+
+// ---------------------------------------------------------------------------
+// Standard TCP options.
+// ---------------------------------------------------------------------------
+
+/// Maximum Segment Size (kind 2), SYN only.
+struct MssOption {
+  uint16_t mss = 0;
+  friend bool operator==(const MssOption&, const MssOption&) = default;
+};
+
+/// Window scale (kind 3), SYN only. The advertised window is shifted left
+/// by `shift` bits by the receiver of the option.
+struct WindowScaleOption {
+  uint8_t shift = 0;
+  friend bool operator==(const WindowScaleOption&,
+                         const WindowScaleOption&) = default;
+};
+
+/// SACK permitted (kind 4), SYN only.
+struct SackPermittedOption {
+  friend bool operator==(const SackPermittedOption&,
+                         const SackPermittedOption&) = default;
+};
+
+/// Selective acknowledgment (kind 5, RFC 2018): up to 4 received blocks
+/// above the cumulative ACK, most recent first.
+struct SackOption {
+  struct Block {
+    uint32_t begin = 0;  ///< wire (wrapped) sequence numbers
+    uint32_t end = 0;
+    friend bool operator==(const Block&, const Block&) = default;
+  };
+  std::vector<Block> blocks;
+  friend bool operator==(const SackOption&, const SackOption&) = default;
+};
+
+/// Timestamps (kind 8, RFC 7323). Used for RTT estimation at both ends.
+struct TimestampOption {
+  uint32_t tsval = 0;
+  uint32_t tsecr = 0;
+  friend bool operator==(const TimestampOption&,
+                         const TimestampOption&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// MPTCP options (kind 30, subtyped per RFC 6824 / the paper's design).
+// ---------------------------------------------------------------------------
+
+/// MP_CAPABLE: negotiated on the initial subflow's 3-way handshake.
+/// The SYN carries the sender's 64-bit random key; the SYN/ACK carries the
+/// receiver's key; the third ACK (and data packets until one is acked,
+/// section 3.1) echoes both keys.
+struct MpCapableOption {
+  uint8_t version = 0;
+  bool checksum_required = true;
+  std::optional<uint64_t> sender_key;    ///< absent only in degenerate tests
+  std::optional<uint64_t> receiver_key;  ///< present on SYN/ACK and 3rd ACK
+  friend bool operator==(const MpCapableOption&,
+                         const MpCapableOption&) = default;
+};
+
+/// Which packet of the 3-way handshake an MP_JOIN option sits on.
+enum class JoinPhase : uint8_t { kSyn, kSynAck, kAck };
+
+/// MP_JOIN: adds a subflow to an existing connection. The SYN carries the
+/// receiver's token (truncated SHA-1 of its key) so the passive end can
+/// locate the connection, plus a random nonce; SYN/ACK and the third ACK
+/// carry truncated HMACs over both nonces keyed with both keys, preventing
+/// blind subflow hijack (section 3.2).
+struct MpJoinOption {
+  JoinPhase phase = JoinPhase::kSyn;
+  uint8_t addr_id = 0;
+  bool backup = false;
+  uint32_t token = 0;       ///< SYN only
+  uint32_t nonce = 0;       ///< SYN and SYN/ACK
+  uint64_t mac = 0;         ///< SYN/ACK (truncated) and ACK
+  friend bool operator==(const MpJoinOption&, const MpJoinOption&) = default;
+};
+
+/// The data sequence mapping carried in a DSS option: maps `length` subflow
+/// bytes beginning at *relative* subflow sequence number `ssn_rel`
+/// (relative to the subflow's initial sequence number, so that
+/// ISN-rewriting middleboxes cannot corrupt it -- section 3.3.4) onto the
+/// data sequence space starting at `dsn`.
+struct DssMapping {
+  uint64_t dsn = 0;
+  uint32_t ssn_rel = 0;
+  uint16_t length = 0;
+  std::optional<uint16_t> checksum;  ///< DSS checksum (section 3.3.6)
+  friend bool operator==(const DssMapping&, const DssMapping&) = default;
+};
+
+/// DSS: Data Sequence Signal. Carries the explicit connection-level
+/// cumulative acknowledgment (DATA_ACK, section 3.3.2), an optional data
+/// sequence mapping, and the DATA_FIN flag (section 3.4).
+struct DssOption {
+  std::optional<uint64_t> data_ack;
+  std::optional<DssMapping> mapping;
+  /// DATA_FIN occupies one octet of data sequence space. When set together
+  /// with a mapping, the DATA_FIN's sequence number is mapping.dsn +
+  /// mapping.length; when set without a mapping, `data_fin_dsn` gives it.
+  bool data_fin = false;
+  uint64_t data_fin_dsn = 0;  ///< only meaningful when data_fin && !mapping
+  friend bool operator==(const DssOption&, const DssOption&) = default;
+};
+
+/// ADD_ADDR: advertises an additional address of the sender (used by
+/// servers behind NAT-asymmetric paths to invite new client-initiated
+/// subflows, section 3.2).
+struct AddAddrOption {
+  uint8_t addr_id = 0;
+  IpAddr addr;
+  std::optional<Port> port;
+  friend bool operator==(const AddAddrOption&, const AddAddrOption&) = default;
+};
+
+/// REMOVE_ADDR: tells the peer that subflows using this address-id are dead
+/// (mobility support, section 3.4).
+struct RemoveAddrOption {
+  uint8_t addr_id = 0;
+  friend bool operator==(const RemoveAddrOption&,
+                         const RemoveAddrOption&) = default;
+};
+
+/// MP_FASTCLOSE: abrupt connection-level close (analogous to RST for the
+/// whole connection).
+struct MpFastcloseOption {
+  uint64_t receiver_key = 0;
+  friend bool operator==(const MpFastcloseOption&,
+                         const MpFastcloseOption&) = default;
+};
+
+/// MP_PRIO: change a subflow's backup priority.
+struct MpPrioOption {
+  bool backup = false;
+  std::optional<uint8_t> addr_id;
+  friend bool operator==(const MpPrioOption&, const MpPrioOption&) = default;
+};
+
+using TcpOption =
+    std::variant<MssOption, WindowScaleOption, SackPermittedOption,
+                 SackOption, TimestampOption, MpCapableOption, MpJoinOption,
+                 DssOption, AddAddrOption, RemoveAddrOption,
+                 MpFastcloseOption, MpPrioOption>;
+
+/// True if the option is an MPTCP (kind 30) option.
+bool is_mptcp_option(const TcpOption& opt);
+
+/// Encoded size in bytes of a single option (including kind/length bytes),
+/// matching the RFC 793 / RFC 6824 wire format implemented in wire.cc.
+size_t option_wire_size(const TcpOption& opt);
+
+/// Finds the first option of type T in a list, or nullptr.
+template <typename T>
+const T* find_option(const std::vector<TcpOption>& opts) {
+  for (const auto& o : opts) {
+    if (const T* p = std::get_if<T>(&o)) return p;
+  }
+  return nullptr;
+}
+
+template <typename T>
+T* find_option(std::vector<TcpOption>& opts) {
+  for (auto& o : opts) {
+    if (T* p = std::get_if<T>(&o)) return p;
+  }
+  return nullptr;
+}
+
+/// Removes all options of type T; returns how many were removed.
+template <typename T>
+size_t remove_options(std::vector<TcpOption>& opts) {
+  size_t before = opts.size();
+  std::erase_if(opts, [](const TcpOption& o) {
+    return std::holds_alternative<T>(o);
+  });
+  return before - opts.size();
+}
+
+}  // namespace mptcp

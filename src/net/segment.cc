@@ -1,0 +1,36 @@
+#include "net/segment.h"
+
+#include <sstream>
+
+namespace mptcp {
+
+std::string TcpSegment::brief() const {
+  std::ostringstream os;
+  os << tuple.str() << " ";
+  if (syn) os << "SYN ";
+  if (fin) os << "FIN ";
+  if (rst) os << "RST ";
+  if (ack_flag) os << "ACK ";
+  os << "seq=" << seq;
+  if (ack_flag) os << " ack=" << ack;
+  os << " wnd=" << window << " len=" << payload.size();
+  for (const auto& o : options) {
+    if (std::holds_alternative<MpCapableOption>(o)) os << " MP_CAPABLE";
+    if (std::holds_alternative<MpJoinOption>(o)) os << " MP_JOIN";
+    if (const auto* d = std::get_if<DssOption>(&o)) {
+      os << " DSS";
+      if (d->data_ack) os << "(dack=" << *d->data_ack;
+      if (d->mapping) {
+        os << (d->data_ack ? "," : "(") << "dsn=" << d->mapping->dsn
+           << "+" << d->mapping->length;
+      }
+      if (d->data_fin) os << ",DFIN";
+      os << ")";
+    }
+    if (std::holds_alternative<AddAddrOption>(o)) os << " ADD_ADDR";
+    if (std::holds_alternative<RemoveAddrOption>(o)) os << " REMOVE_ADDR";
+  }
+  return os.str();
+}
+
+}  // namespace mptcp

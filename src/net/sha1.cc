@@ -1,0 +1,180 @@
+#include "net/sha1.h"
+
+#include <cstring>
+
+namespace mptcp {
+namespace {
+
+constexpr uint32_t rotl(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void put_u64_be(uint8_t* out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out[7 - i] = static_cast<uint8_t>(v >> (i * 8));
+  }
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_bytes_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::process_block(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (uint32_t{block[i * 4]} << 24) | (uint32_t{block[i * 4 + 1]} << 16) |
+           (uint32_t{block[i * 4 + 2]} << 8) | uint32_t{block[i * 4 + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const uint8_t> data) {
+  total_bytes_ += data.size();
+  size_t pos = 0;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(data.size(), buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    pos = take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (pos + 64 <= data.size()) {
+    process_block(data.data() + pos);
+    pos += 64;
+  }
+  if (pos < data.size()) {
+    buffer_len_ = data.size() - pos;
+    std::memcpy(buffer_.data(), data.data() + pos, buffer_len_);
+  }
+}
+
+Sha1::Digest Sha1::digest() {
+  const uint64_t bit_len = total_bytes_ * 8;
+  // Append the 0x80 terminator and zero padding up to 56 mod 64, then the
+  // 64-bit big-endian message length.
+  const uint8_t terminator = 0x80;
+  update({&terminator, 1});
+  const uint8_t zero = 0;
+  while (buffer_len_ != 56) update({&zero, 1});
+  uint8_t len_be[8];
+  put_u64_be(len_be, bit_len);
+  // Do not let the length bytes count toward a new length.
+  std::memcpy(buffer_.data() + 56, len_be, 8);
+  process_block(buffer_.data());
+  buffer_len_ = 0;
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4 + 0] = static_cast<uint8_t>(h_[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+Sha1::Digest hmac_sha1(std::span<const uint8_t> key,
+                       std::span<const uint8_t> message) {
+  std::array<uint8_t, 64> k{};
+  if (key.size() > 64) {
+    auto d = Sha1::hash(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+
+  std::array<uint8_t, 64> ipad, opad;
+  for (size_t i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha1 inner;
+  inner.update(ipad);
+  inner.update(message);
+  auto inner_digest = inner.digest();
+
+  Sha1 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.digest();
+}
+
+namespace {
+
+std::array<uint8_t, 8> key_bytes_be(uint64_t key) {
+  std::array<uint8_t, 8> b;
+  put_u64_be(b.data(), key);
+  return b;
+}
+
+}  // namespace
+
+uint32_t mptcp_token_from_key(uint64_t key) {
+  auto d = Sha1::hash(key_bytes_be(key));
+  return (uint32_t{d[0]} << 24) | (uint32_t{d[1]} << 16) |
+         (uint32_t{d[2]} << 8) | uint32_t{d[3]};
+}
+
+uint64_t mptcp_idsn_from_key(uint64_t key) {
+  auto d = Sha1::hash(key_bytes_be(key));
+  uint64_t v = 0;
+  for (int i = 12; i < 20; ++i) v = (v << 8) | d[i];
+  return v;
+}
+
+uint64_t mptcp_join_mac64(uint64_t key_local, uint64_t key_remote,
+                          uint32_t nonce_local, uint32_t nonce_remote) {
+  std::array<uint8_t, 16> key;
+  put_u64_be(key.data(), key_local);
+  put_u64_be(key.data() + 8, key_remote);
+  std::array<uint8_t, 8> msg;
+  for (int i = 0; i < 4; ++i) {
+    msg[i] = static_cast<uint8_t>(nonce_local >> ((3 - i) * 8));
+    msg[4 + i] = static_cast<uint8_t>(nonce_remote >> ((3 - i) * 8));
+  }
+  auto d = hmac_sha1(key, msg);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return v;
+}
+
+}  // namespace mptcp

@@ -1,0 +1,65 @@
+// SHA-1 (RFC 3174) and HMAC-SHA1 (RFC 2104), implemented from scratch.
+//
+// MPTCP uses SHA-1 to derive connection tokens and initial data sequence
+// numbers from the 64-bit keys exchanged in MP_CAPABLE, and HMAC-SHA1 to
+// authenticate MP_JOIN handshakes (section 3.2 of the paper, RFC 6824
+// section 3.2). SHA-1's cryptographic weaknesses are irrelevant here: the
+// protocol only needs preimage-resistance against blind off-path attackers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mptcp {
+
+/// Incremental SHA-1. Usage: update(...)* then digest().
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const uint8_t> data);
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// further use.
+  Digest digest();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const uint8_t> data) {
+    Sha1 h;
+    h.update(data);
+    return h.digest();
+  }
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 5> h_;
+  std::array<uint8_t, 64> buffer_;
+  uint64_t total_bytes_ = 0;
+  size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA1 per RFC 2104.
+Sha1::Digest hmac_sha1(std::span<const uint8_t> key,
+                       std::span<const uint8_t> message);
+
+// ---------------------------------------------------------------------------
+// MPTCP key derivations (RFC 6824 section 3.2).
+// ---------------------------------------------------------------------------
+
+/// Token = most significant 32 bits of SHA-1(key), key in network order.
+uint32_t mptcp_token_from_key(uint64_t key);
+
+/// Initial data sequence number = least significant 64 bits of SHA-1(key).
+uint64_t mptcp_idsn_from_key(uint64_t key);
+
+/// MP_JOIN SYN/ACK MAC: truncated (64-bit) HMAC-SHA1 keyed with
+/// (local_key || remote_key) over (local_nonce || remote_nonce).
+uint64_t mptcp_join_mac64(uint64_t key_local, uint64_t key_remote,
+                          uint32_t nonce_local, uint32_t nonce_remote);
+
+}  // namespace mptcp

@@ -1,0 +1,48 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace mptcp {
+
+EventLoop::EventId EventLoop::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(QueueEntry{t, id});
+  pending_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventLoop::run_one() {
+  while (!queue_.empty()) {
+    const QueueEntry e = queue_.top();
+    queue_.pop();
+    auto it = pending_.find(e.id);
+    if (it == pending_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    pending_.erase(it);
+    now_ = e.t;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    const QueueEntry e = queue_.top();
+    if (pending_.find(e.id) == pending_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (e.t > t) break;
+    run_one();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void EventLoop::run() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace mptcp

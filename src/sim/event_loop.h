@@ -1,0 +1,118 @@
+// Discrete-event simulation core.
+//
+// Single-threaded, deterministic: events at equal times fire in schedule
+// order. Time is a 64-bit count of nanoseconds, which gives ~292 years of
+// range -- enough for any experiment while keeping arithmetic exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace mptcp {
+
+using SimTime = int64_t;  // nanoseconds
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Converts a SimTime duration to floating-point seconds.
+inline double to_seconds(SimTime t) {
+  return static_cast<double>(t) / kSecond;
+}
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules a callback at absolute time `t` (clamped to now()).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules a callback `dt` from now.
+  EventId schedule_in(SimTime dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a harmless no-op.
+  void cancel(EventId id) { pending_.erase(id); }
+
+  bool has_pending() const { return !pending_.empty(); }
+  size_t pending_count() const { return pending_.size(); }
+
+  /// Runs the earliest pending event; returns false if none remain.
+  bool run_one();
+
+  /// Runs events until simulated time `t`; leaves now() == t.
+  void run_until(SimTime t);
+
+  /// Runs until no events remain.
+  void run();
+
+ private:
+  struct QueueEntry {
+    SimTime t;
+    EventId id;
+    bool operator>(const QueueEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return id > o.id;  // FIFO among same-time events
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::unordered_map<EventId, Callback> pending_;
+};
+
+/// A re-armable one-shot timer bound to an EventLoop.
+class Timer {
+ public:
+  Timer(EventLoop& loop, EventLoop::Callback cb)
+      : loop_(loop), cb_(std::move(cb)) {}
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re-)arms the timer to fire `dt` from now.
+  void arm_in(SimTime dt) { arm_at(loop_.now() + dt); }
+
+  void arm_at(SimTime t) {
+    cancel();
+    expiry_ = t;
+    id_ = loop_.schedule_at(t, [this] {
+      armed_ = false;
+      cb_();
+    });
+    armed_ = true;
+  }
+
+  void cancel() {
+    if (armed_) {
+      loop_.cancel(id_);
+      armed_ = false;
+    }
+  }
+
+  bool armed() const { return armed_; }
+  SimTime expiry() const { return expiry_; }
+
+ private:
+  EventLoop& loop_;
+  EventLoop::Callback cb_;
+  EventLoop::EventId id_ = 0;
+  SimTime expiry_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace mptcp

@@ -1,0 +1,66 @@
+#include "sim/link.h"
+
+#include <utility>
+
+namespace mptcp {
+
+Link::Link(EventLoop& loop, LinkConfig config, std::string name)
+    : loop_(loop),
+      config_(config),
+      name_(std::move(name)),
+      rng_(config.loss_seed) {}
+
+void Link::deliver(TcpSegment seg) {
+  if (!up_) {
+    ++stats_.dropped_down;
+    return;
+  }
+  // An empty queue always admits one packet even if it exceeds the
+  // configured buffer; otherwise a buffer smaller than one MTU would
+  // black-hole the link entirely.
+  const size_t size = seg.wire_size();
+  if (queued_bytes_ + size > config_.buffer_bytes && !queue_.empty()) {
+    ++stats_.dropped_overflow;
+    return;
+  }
+  ++stats_.enqueued_pkts;
+  queued_bytes_ += size;
+  queue_.push_back(std::move(seg));
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const size_t size = queue_.front().wire_size();
+  const double tx_seconds = static_cast<double>(size) * 8.0 / config_.rate_bps;
+  const SimTime tx_time =
+      static_cast<SimTime>(tx_seconds * static_cast<double>(kSecond));
+  loop_.schedule_in(tx_time, [this] { finish_transmission(); });
+}
+
+void Link::finish_transmission() {
+  TcpSegment seg = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= seg.wire_size();
+
+  if (!up_) {
+    ++stats_.dropped_down;
+  } else if (config_.loss_prob > 0.0 && rng_.chance(config_.loss_prob)) {
+    ++stats_.dropped_loss;
+  } else if (target_ != nullptr) {
+    ++stats_.delivered_pkts;
+    stats_.delivered_bytes += seg.wire_size();
+    PacketSink* target = target_;
+    loop_.schedule_in(config_.prop_delay,
+                      [target, s = std::move(seg)]() mutable {
+                        target->deliver(std::move(s));
+                      });
+  }
+  start_transmission();
+}
+
+}  // namespace mptcp

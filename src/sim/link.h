@@ -1,0 +1,82 @@
+// A unidirectional link: serialization at a fixed rate, a drop-tail buffer
+// of bounded byte size, fixed propagation delay, and optional Bernoulli
+// loss. Two of these back-to-back model a full-duplex path.
+//
+// The paper's emulated paths are expressed directly in this vocabulary,
+// e.g. "WiFi" = 8 Mbps, 20 ms RTT (10 ms per direction), 80 ms of buffer.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "net/rng.h"
+#include "sim/event_loop.h"
+#include "sim/node.h"
+
+namespace mptcp {
+
+struct LinkConfig {
+  double rate_bps = 10e6;
+  SimTime prop_delay = 10 * kMillisecond;  ///< one-way propagation
+  size_t buffer_bytes = 64 * 1024;         ///< drop-tail queue capacity
+  double loss_prob = 0.0;                  ///< i.i.d. loss, applied at egress
+  uint64_t loss_seed = 1;
+
+  /// Convenience: buffer sized to hold `ms` milliseconds at the link rate,
+  /// the way the paper specifies buffers ("80ms buffer", "2s buffer").
+  static size_t buffer_for_delay(double rate_bps, SimTime buf_delay) {
+    return static_cast<size_t>(rate_bps / 8.0 * to_seconds(buf_delay));
+  }
+};
+
+class Link : public PacketSink {
+ public:
+  struct Stats {
+    uint64_t enqueued_pkts = 0;
+    uint64_t delivered_pkts = 0;
+    uint64_t delivered_bytes = 0;
+    uint64_t dropped_overflow = 0;
+    uint64_t dropped_loss = 0;
+    uint64_t dropped_down = 0;
+  };
+
+  Link(EventLoop& loop, LinkConfig config, std::string name = "link");
+
+  void set_target(PacketSink* target) { target_ = target; }
+  PacketSink* target() const { return target_; }
+
+  /// Enqueues a segment for transmission (or drops it if the buffer is
+  /// full or the link is administratively down).
+  void deliver(TcpSegment seg) override;
+
+  /// Administrative up/down; a downed link drops everything, modelling
+  /// loss of an interface (mobility scenarios).
+  void set_up(bool up) { up_ = up; }
+  bool is_up() const { return up_; }
+
+  /// Changes the loss probability mid-run (scenario scripting).
+  void set_loss_prob(double p) { config_.loss_prob = p; }
+
+  const LinkConfig& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  size_t queued_bytes() const { return queued_bytes_; }
+
+ private:
+  void start_transmission();
+  void finish_transmission();
+
+  EventLoop& loop_;
+  LinkConfig config_;
+  std::string name_;
+  PacketSink* target_ = nullptr;
+  Rng rng_;
+
+  std::deque<TcpSegment> queue_;
+  size_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+  bool up_ = true;
+  Stats stats_;
+};
+
+}  // namespace mptcp

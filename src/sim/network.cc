@@ -1,0 +1,104 @@
+#include "sim/network.h"
+
+#include <utility>
+
+namespace mptcp {
+
+Host::Host(EventLoop& loop, std::string name)
+    : loop_(loop), name_(std::move(name)) {}
+
+void Host::add_interface(IpAddr addr, PacketSink* out) {
+  ifaces_.push_back(Interface{addr, out, true});
+}
+
+void Host::set_interface_up(IpAddr addr, bool up) {
+  for (auto& i : ifaces_) {
+    if (i.addr == addr) i.up = up;
+  }
+}
+
+bool Host::interface_up(IpAddr addr) const {
+  for (const auto& i : ifaces_) {
+    if (i.addr == addr) return i.up;
+  }
+  return false;
+}
+
+std::vector<IpAddr> Host::addresses() const {
+  std::vector<IpAddr> out;
+  out.reserve(ifaces_.size());
+  for (const auto& i : ifaces_) out.push_back(i.addr);
+  return out;
+}
+
+bool Host::owns_address(IpAddr addr) const {
+  for (const auto& i : ifaces_) {
+    if (i.addr == addr) return true;
+  }
+  return false;
+}
+
+void Host::send(TcpSegment seg) {
+  for (auto& i : ifaces_) {
+    if (i.addr == seg.tuple.src.addr) {
+      if (!i.up || i.out == nullptr) {
+        ++send_drops_;
+        return;
+      }
+      i.out->deliver(std::move(seg));
+      return;
+    }
+  }
+  ++send_drops_;
+}
+
+void Host::deliver(TcpSegment seg) {
+  ++delivered_segments_;
+  const SimTime cost =
+      cpu_.per_segment +
+      cpu_.per_byte * static_cast<SimTime>(seg.payload_size());
+  if (cost == 0) {
+    process(seg);
+    return;
+  }
+  // Single-core FIFO CPU: the segment is handled once the core has worked
+  // through its backlog plus this segment's own cost.
+  const SimTime start = std::max(loop_.now(), cpu_free_at_);
+  cpu_free_at_ = start + cost;
+  cpu_busy_total_ += cost;
+  loop_.schedule_at(cpu_free_at_,
+                    [this, s = std::move(seg)] { process(s); });
+}
+
+void Host::process(const TcpSegment& seg) {
+  auto it = conns_.find({seg.tuple.dst, seg.tuple.src});
+  if (it != conns_.end()) {
+    it->second->on_segment(seg);
+    return;
+  }
+  if (seg.syn && !seg.ack_flag) {
+    auto lit = listeners_.find(seg.tuple.dst.port);
+    if (lit != listeners_.end()) {
+      lit->second->on_syn(seg);
+      return;
+    }
+  }
+  ++demux_misses_;
+}
+
+void Host::bind(const Endpoint& local, const Endpoint& remote,
+                SegmentHandler* handler) {
+  conns_[{local, remote}] = handler;
+}
+
+void Host::unbind(const Endpoint& local, const Endpoint& remote) {
+  conns_.erase({local, remote});
+}
+
+void Host::listen(Port port, ListenHandler* handler) {
+  listeners_[port] = handler;
+}
+
+void Host::unlisten(Port port) { listeners_.erase(port); }
+
+}  // namespace mptcp

@@ -1,0 +1,159 @@
+// Hosts, routing and demultiplexing.
+//
+// Topology model: each host owns one or more interfaces, each bound to a
+// local address and an outgoing PacketSink (usually a Link, possibly with
+// middleboxes chained behind it). Hosts route outgoing segments by their
+// *source* address -- a segment sent from a given local address always
+// leaves through that address's interface, which is how MPTCP subflows pin
+// themselves to paths. A Classifier routes by destination address, used on
+// the single-homed side of asymmetric topologies, and the Network object
+// is the final hop that hands segments to the destination host.
+//
+// Hosts also carry an optional single-core CPU model (used by the Fig. 11
+// HTTP experiment): each delivered segment occupies the CPU for a
+// configurable time before the stack sees it, and protocol code can charge
+// extra cycles (e.g. MPTCP key hashing) that delay subsequent segments.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/rng.h"
+#include "sim/event_loop.h"
+#include "sim/node.h"
+
+namespace mptcp {
+
+/// A connection endpoint registered with a host's demux.
+class SegmentHandler {
+ public:
+  virtual ~SegmentHandler() = default;
+  virtual void on_segment(const TcpSegment& seg) = 0;
+};
+
+/// Receives SYNs for which no established connection matches.
+class ListenHandler {
+ public:
+  virtual ~ListenHandler() = default;
+  virtual void on_syn(const TcpSegment& seg) = 0;
+};
+
+/// Routes by destination address with a default route.
+class Classifier : public PacketSink {
+ public:
+  void add_route(IpAddr dst, PacketSink* next) { routes_[dst] = next; }
+  void set_default(PacketSink* next) { default_ = next; }
+
+  void deliver(TcpSegment seg) override {
+    auto it = routes_.find(seg.tuple.dst.addr);
+    PacketSink* next = it != routes_.end() ? it->second : default_;
+    if (next != nullptr) next->deliver(std::move(seg));
+  }
+
+ private:
+  std::unordered_map<IpAddr, PacketSink*> routes_;
+  PacketSink* default_ = nullptr;
+};
+
+class Host : public PacketSink {
+ public:
+  struct CpuConfig {
+    SimTime per_segment = 0;  ///< base cost charged per delivered segment
+    SimTime per_byte = 0;     ///< payload-proportional cost
+  };
+
+  Host(EventLoop& loop, std::string name);
+
+  EventLoop& loop() { return loop_; }
+  const std::string& name() const { return name_; }
+
+  // --- interfaces -------------------------------------------------------
+  /// Adds an interface with the given local address; outgoing segments
+  /// whose source address matches leave via `out`.
+  void add_interface(IpAddr addr, PacketSink* out);
+  void set_interface_up(IpAddr addr, bool up);
+  bool interface_up(IpAddr addr) const;
+  std::vector<IpAddr> addresses() const;
+  bool owns_address(IpAddr addr) const;
+
+  // --- sending ----------------------------------------------------------
+  /// Sends a segment out of the interface owning seg.tuple.src.addr.
+  /// Segments from unknown or downed interfaces are dropped (counted).
+  void send(TcpSegment seg);
+  uint64_t send_drops() const { return send_drops_; }
+
+  // --- receiving / demux -------------------------------------------------
+  void deliver(TcpSegment seg) override;
+
+  /// Registers a handler for segments addressed to `local` coming from
+  /// `remote` (both exact).
+  void bind(const Endpoint& local, const Endpoint& remote,
+            SegmentHandler* handler);
+  void unbind(const Endpoint& local, const Endpoint& remote);
+
+  /// Registers a listener on a local port (any local address).
+  void listen(Port port, ListenHandler* handler);
+  void unlisten(Port port);
+
+  Port alloc_ephemeral_port() {
+    if (next_ephemeral_ < 1024) next_ephemeral_ = 1024;  // wrapped around
+    return next_ephemeral_++;
+  }
+
+  // --- CPU model ---------------------------------------------------------
+  void set_cpu(CpuConfig cfg) { cpu_ = cfg; }
+  /// Charges extra CPU time from within segment processing; extends the
+  /// busy period seen by subsequent segments.
+  void charge_cpu(SimTime cost) { cpu_free_at_ += cost; }
+  SimTime cpu_busy_total() const { return cpu_busy_total_; }
+
+  uint64_t delivered_segments() const { return delivered_segments_; }
+  uint64_t demux_misses() const { return demux_misses_; }
+
+ private:
+  void process(const TcpSegment& seg);
+
+  struct Interface {
+    IpAddr addr;
+    PacketSink* out = nullptr;
+    bool up = true;
+  };
+
+  EventLoop& loop_;
+  std::string name_;
+  std::vector<Interface> ifaces_;
+  std::map<std::pair<Endpoint, Endpoint>, SegmentHandler*> conns_;
+  std::unordered_map<Port, ListenHandler*> listeners_;
+  Port next_ephemeral_ = 40000;
+
+  CpuConfig cpu_;
+  SimTime cpu_free_at_ = 0;
+  SimTime cpu_busy_total_ = 0;
+
+  uint64_t send_drops_ = 0;
+  uint64_t delivered_segments_ = 0;
+  uint64_t demux_misses_ = 0;
+};
+
+/// The network core: final hop that routes to destination hosts.
+class Network : public PacketSink {
+ public:
+  void attach(IpAddr addr, PacketSink* ingress) { hosts_[addr] = ingress; }
+  void attach_host(Host& host) {
+    for (IpAddr a : host.addresses()) attach(a, &host);
+  }
+
+  void deliver(TcpSegment seg) override {
+    auto it = hosts_.find(seg.tuple.dst.addr);
+    if (it != hosts_.end()) it->second->deliver(std::move(seg));
+  }
+
+ private:
+  std::unordered_map<IpAddr, PacketSink*> hosts_;
+};
+
+}  // namespace mptcp

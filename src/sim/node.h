@@ -1,0 +1,25 @@
+// The interface every in-path element implements.
+#pragma once
+
+#include "net/segment.h"
+
+namespace mptcp {
+
+/// Anything that can accept a segment: links, middleboxes, routers, hosts.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(TcpSegment seg) = 0;
+};
+
+/// A sink that silently drops everything (a downed route).
+class NullSink : public PacketSink {
+ public:
+  void deliver(TcpSegment) override { ++dropped_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace mptcp

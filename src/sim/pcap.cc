@@ -1,0 +1,79 @@
+#include "sim/pcap.h"
+
+#include <vector>
+
+#include "net/checksum.h"
+#include "net/wire.h"
+
+namespace mptcp {
+namespace {
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void put_u32_le(std::FILE* f, uint32_t v) {
+  const uint8_t b[4] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                        static_cast<uint8_t>(v >> 16),
+                        static_cast<uint8_t>(v >> 24)};
+  std::fwrite(b, 1, 4, f);
+}
+
+/// Builds the IPv4 header for a TCP payload of `tcp_len` bytes.
+std::vector<uint8_t> ipv4_header(const FourTuple& t, size_t tcp_len) {
+  std::vector<uint8_t> h;
+  h.reserve(20);
+  h.push_back(0x45);  // version 4, IHL 5
+  h.push_back(0);     // DSCP/ECN
+  put_u16(h, static_cast<uint16_t>(20 + tcp_len));
+  put_u16(h, 0);       // identification
+  put_u16(h, 0x4000);  // don't-fragment
+  h.push_back(64);     // TTL
+  h.push_back(6);      // protocol TCP
+  put_u16(h, 0);       // checksum placeholder
+  for (int i = 3; i >= 0; --i) {
+    h.push_back(static_cast<uint8_t>(t.src.addr.value >> (i * 8)));
+  }
+  for (int i = 3; i >= 0; --i) {
+    h.push_back(static_cast<uint8_t>(t.dst.addr.value >> (i * 8)));
+  }
+  const uint16_t csum = internet_checksum(h);
+  h[10] = static_cast<uint8_t>(csum >> 8);
+  h[11] = static_cast<uint8_t>(csum);
+  return h;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  // pcap global header, nanosecond variant (magic 0xa1b23c4d).
+  put_u32_le(file_, 0xa1b23c4d);
+  put_u32_le(file_, 0x00040002);  // version 2.4
+  put_u32_le(file_, 0);           // thiszone
+  put_u32_le(file_, 0);           // sigfigs
+  put_u32_le(file_, 65535);       // snaplen
+  put_u32_le(file_, 101);         // LINKTYPE_RAW (IPv4/IPv6)
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void PcapWriter::record(SimTime t, const TcpSegment& seg) {
+  if (file_ == nullptr) return;
+  const auto tcp = serialize_segment(seg);
+  const auto ip = ipv4_header(seg.tuple, tcp.size());
+  const uint32_t len = static_cast<uint32_t>(ip.size() + tcp.size());
+  put_u32_le(file_, static_cast<uint32_t>(t / kSecond));
+  put_u32_le(file_, static_cast<uint32_t>(t % kSecond));  // nanoseconds
+  put_u32_le(file_, len);
+  put_u32_le(file_, len);
+  std::fwrite(ip.data(), 1, ip.size(), file_);
+  std::fwrite(tcp.data(), 1, tcp.size(), file_);
+  ++packets_;
+}
+
+}  // namespace mptcp

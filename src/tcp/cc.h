@@ -1,0 +1,148 @@
+// Congestion control.
+//
+// The connection drives the loss-recovery state machine (dupacks, fast
+// retransmit, NewReno partial ACKs, timeouts) and informs the controller,
+// which owns cwnd/ssthresh. NewReno lives here; the coupled Linked
+// Increases controller (LIA, Wischik et al. NSDI'11) subclasses this
+// interface in src/core, sharing state across the subflows of one MPTCP
+// connection.
+//
+// Mechanism 4 of the paper -- capping cwnd when the smoothed RTT is double
+// the base RTT, to stop autotuning from filling deep 3G buffers -- is
+// implemented here as an optional inflight cap, mirroring FreeBSD's
+// net.inet.tcp.inflight (section 4.2, Mechanisms 3 & 4).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "sim/event_loop.h"
+
+namespace mptcp {
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void init(uint32_t mss, uint32_t initial_cwnd_segments) = 0;
+
+  /// Cumulative ACK of `bytes_acked` new bytes, outside loss recovery.
+  /// `srtt`/`min_rtt` are the connection's current estimates (0 if none).
+  virtual void on_ack(uint64_t bytes_acked, SimTime srtt, SimTime min_rtt) = 0;
+
+  /// Third duplicate ACK: entering fast recovery. `flight_size` is the
+  /// amount of outstanding data.
+  virtual void on_enter_recovery(uint64_t flight_size) = 0;
+
+  /// Further dupack while in recovery (window inflation).
+  virtual void on_dupack_in_recovery() = 0;
+
+  /// Partial ACK in recovery (NewReno deflation).
+  virtual void on_partial_ack(uint64_t bytes_acked) = 0;
+
+  /// ACK covering the recovery point: recovery complete.
+  virtual void on_exit_recovery() = 0;
+
+  /// Retransmission timeout.
+  virtual void on_timeout(uint64_t flight_size) = 0;
+
+  virtual uint64_t cwnd() const = 0;
+  virtual uint64_t ssthresh() const = 0;
+  virtual bool in_slow_start() const { return cwnd() < ssthresh(); }
+
+  /// Mechanism 2 (penalization): halve cwnd and set ssthresh to the
+  /// reduced window. The connection enforces the once-per-RTT limit.
+  virtual void penalize() = 0;
+};
+
+/// Plain NewReno, cwnd in bytes, with optional M4 inflight capping.
+class NewRenoCc : public CongestionControl {
+ public:
+  struct Options {
+    bool cap_inflight = false;  ///< Mechanism 4
+  };
+
+  NewRenoCc() : opts_{} {}
+  explicit NewRenoCc(Options opts) : opts_(opts) {}
+
+  void init(uint32_t mss, uint32_t initial_cwnd_segments) override {
+    mss_ = mss;
+    cwnd_ = static_cast<double>(mss) * initial_cwnd_segments;
+    ssthresh_ = 1e18;
+  }
+
+  void on_ack(uint64_t bytes_acked, SimTime srtt, SimTime min_rtt) override {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(bytes_acked);  // slow start
+    } else {
+      // One MSS per RTT, byte-counted.
+      cwnd_ += static_cast<double>(mss_) * static_cast<double>(bytes_acked) /
+               cwnd_;
+    }
+    apply_cap(srtt, min_rtt);
+  }
+
+  void on_enter_recovery(uint64_t flight_size) override {
+    ssthresh_ = std::max(static_cast<double>(flight_size) / 2.0,
+                         2.0 * static_cast<double>(mss_));
+    cwnd_ = ssthresh_ + 3.0 * static_cast<double>(mss_);
+  }
+
+  void on_dupack_in_recovery() override {
+    cwnd_ += static_cast<double>(mss_);
+  }
+
+  void on_partial_ack(uint64_t bytes_acked) override {
+    cwnd_ = std::max(static_cast<double>(mss_),
+                     cwnd_ - static_cast<double>(bytes_acked) +
+                         static_cast<double>(mss_));
+  }
+
+  void on_exit_recovery() override { cwnd_ = ssthresh_; }
+
+  void on_timeout(uint64_t flight_size) override {
+    ssthresh_ = std::max(static_cast<double>(flight_size) / 2.0,
+                         2.0 * static_cast<double>(mss_));
+    cwnd_ = static_cast<double>(mss_);
+  }
+
+  uint64_t cwnd() const override {
+    return static_cast<uint64_t>(
+        std::max(cwnd_, static_cast<double>(mss_)));
+  }
+
+  uint64_t ssthresh() const override {
+    return static_cast<uint64_t>(ssthresh_);
+  }
+
+  void penalize() override {
+    // Guard from the reference implementation: a window already at or
+    // below ssthresh has just been reduced -- halving again would crush
+    // it toward zero and stall loss recovery entirely. (An untouched
+    // initial ssthresh means no reduction ever happened; always act.)
+    if (ssthresh_ < 1e17 && cwnd_ <= ssthresh_) return;
+    cwnd_ = std::max(cwnd_ / 2.0, static_cast<double>(mss_));
+    ssthresh_ = std::max(cwnd_, 2.0 * static_cast<double>(mss_));
+  }
+
+ protected:
+  /// M4: when queueing delay exceeds one base RTT (srtt > 2*rtt_min),
+  /// shrink cwnd toward ~2 base-BDPs so deep network buffers are not kept
+  /// full (section 4.2, Mechanisms 3 & 4).
+  void apply_cap(SimTime srtt, SimTime min_rtt) {
+    if (!opts_.cap_inflight || srtt <= 0 || min_rtt <= 0) return;
+    if (srtt > 2 * min_rtt) {
+      const double cap = cwnd_ * 2.0 * static_cast<double>(min_rtt) /
+                         static_cast<double>(srtt);
+      cwnd_ = std::max(std::min(cwnd_, cap), static_cast<double>(mss_));
+    }
+  }
+
+  Options opts_;
+  uint32_t mss_ = 1460;
+  double cwnd_ = 0;
+  double ssthresh_ = 1e18;
+};
+
+}  // namespace mptcp

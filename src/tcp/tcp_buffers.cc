@@ -1,0 +1,107 @@
+#include "tcp/tcp_buffers.h"
+
+namespace mptcp {
+
+void ReassemblyQueue::insert(uint64_t seq, std::vector<uint8_t> bytes) {
+  if (bytes.empty()) return;
+  last_insert_seq_ = seq;
+  uint64_t end = seq + bytes.size();
+
+  // Trim against the predecessor (chunk starting at or before seq).
+  auto it = chunks_.upper_bound(seq);
+  if (it != chunks_.begin()) {
+    auto prev = std::prev(it);
+    const uint64_t prev_end = prev->first + prev->second.size();
+    if (prev_end >= end) return;  // fully covered
+    if (prev_end > seq) {
+      bytes.erase(bytes.begin(),
+                  bytes.begin() + static_cast<size_t>(prev_end - seq));
+      seq = prev_end;
+    }
+  }
+
+  // Trim against successors.
+  while (it != chunks_.end() && it->first < end) {
+    const uint64_t next_start = it->first;
+    const uint64_t next_end = next_start + it->second.size();
+    if (next_start <= seq) {
+      // Successor covers our head.
+      if (next_end >= end) return;
+      bytes.erase(bytes.begin(),
+                  bytes.begin() + static_cast<size_t>(next_end - seq));
+      seq = next_end;
+      it = chunks_.upper_bound(seq);
+      continue;
+    }
+    // Successor starts inside our range: keep only our head up to it,
+    // insert, and continue with the tail beyond the successor.
+    std::vector<uint8_t> head(bytes.begin(),
+                              bytes.begin() +
+                                  static_cast<size_t>(next_start - seq));
+    ooo_bytes_ += head.size();
+    chunks_.emplace(seq, std::move(head));
+    bytes.erase(bytes.begin(),
+                bytes.begin() + static_cast<size_t>(
+                                    std::min(next_end, end) - seq));
+    seq = next_end;
+    if (seq >= end) return;
+    it = chunks_.upper_bound(seq);
+  }
+
+  if (!bytes.empty() && seq < end) {
+    ooo_bytes_ += bytes.size();
+    chunks_.emplace(seq, std::move(bytes));
+  }
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ReassemblyQueue::sack_ranges(
+    size_t max_n) const {
+  // Merge adjacent chunks into maximal ranges.
+  std::vector<std::pair<uint64_t, uint64_t>> merged;
+  for (const auto& [seq, bytes] : chunks_) {
+    const uint64_t end = seq + bytes.size();
+    if (!merged.empty() && merged.back().second == seq) {
+      merged.back().second = end;
+    } else {
+      merged.emplace_back(seq, end);
+    }
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  // The range containing the most recent arrival goes first so the sender
+  // learns fresh information even if earlier ACKs were lost.
+  for (const auto& r : merged) {
+    if (last_insert_seq_ >= r.first && last_insert_seq_ < r.second) {
+      out.push_back(r);
+      break;
+    }
+  }
+  for (const auto& r : merged) {
+    if (out.size() >= max_n) break;
+    if (!out.empty() && r == out.front()) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<std::pair<uint64_t, std::vector<uint8_t>>>
+ReassemblyQueue::pop_ready(uint64_t rcv_nxt) {
+  while (!chunks_.empty()) {
+    auto it = chunks_.begin();
+    const uint64_t seq = it->first;
+    const uint64_t end = seq + it->second.size();
+    if (seq > rcv_nxt) return std::nullopt;
+    std::vector<uint8_t> bytes = std::move(it->second);
+    ooo_bytes_ -= bytes.size();
+    chunks_.erase(it);
+    if (end <= rcv_nxt) continue;  // stale chunk, already delivered
+    if (seq < rcv_nxt) {
+      bytes.erase(bytes.begin(),
+                  bytes.begin() + static_cast<size_t>(rcv_nxt - seq));
+      return std::make_pair(rcv_nxt, std::move(bytes));
+    }
+    return std::make_pair(seq, std::move(bytes));
+  }
+  return std::nullopt;
+}
+
+}  // namespace mptcp

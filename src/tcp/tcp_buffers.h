@@ -1,0 +1,93 @@
+// Send-side and receive-side data structures, 64-bit sequence based.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mptcp {
+
+/// Byte buffer anchored at an (unwrapped) sequence number. Holds
+/// [base_seq, end_seq): data written by the application but not yet
+/// cumulatively acknowledged. Freed from the front as ACKs advance.
+class SendBuffer {
+ public:
+  explicit SendBuffer(uint64_t base_seq = 0) : base_seq_(base_seq) {}
+
+  void reset(uint64_t base_seq) {
+    base_seq_ = base_seq;
+    data_.clear();
+  }
+
+  /// Appends up to `capacity - size()` bytes; returns bytes accepted.
+  size_t append(std::span<const uint8_t> bytes, size_t capacity) {
+    const size_t space = capacity > data_.size() ? capacity - data_.size() : 0;
+    const size_t n = std::min(space, bytes.size());
+    data_.insert(data_.end(), bytes.begin(), bytes.begin() + n);
+    return n;
+  }
+
+  /// Copies `len` bytes starting at sequence `seq` into `out`. The range
+  /// must be within [base_seq, end_seq).
+  void copy_out(uint64_t seq, size_t len, std::vector<uint8_t>& out) const {
+    const size_t off = static_cast<size_t>(seq - base_seq_);
+    out.assign(data_.begin() + off, data_.begin() + off + len);
+  }
+
+  /// Releases all bytes below `seq` (cumulative ACK).
+  void free_through(uint64_t seq) {
+    if (seq <= base_seq_) return;
+    const size_t n =
+        std::min(static_cast<size_t>(seq - base_seq_), data_.size());
+    data_.erase(data_.begin(), data_.begin() + n);
+    base_seq_ += n;
+  }
+
+  uint64_t base_seq() const { return base_seq_; }
+  uint64_t end_seq() const { return base_seq_ + data_.size(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+ private:
+  uint64_t base_seq_;
+  std::deque<uint8_t> data_;
+};
+
+/// Out-of-order reassembly queue keyed by unwrapped sequence number.
+/// Overlapping inserts are trimmed so stored chunks are disjoint.
+class ReassemblyQueue {
+ public:
+  /// Inserts a chunk; overlaps with existing chunks are discarded from the
+  /// new chunk (first-arrival wins, like most stacks).
+  void insert(uint64_t seq, std::vector<uint8_t> bytes);
+
+  /// If the chunk at the head starts at or below `rcv_nxt`, pops it
+  /// (trimmed to start exactly at rcv_nxt). Returns nullopt otherwise.
+  std::optional<std::pair<uint64_t, std::vector<uint8_t>>> pop_ready(
+      uint64_t rcv_nxt);
+
+  size_t ooo_bytes() const { return ooo_bytes_; }
+  size_t chunk_count() const { return chunks_.size(); }
+  bool empty() const { return chunks_.empty(); }
+
+  /// Up to `max_n` disjoint received ranges for SACK generation, with the
+  /// range containing the most recent arrival first (RFC 2018 ordering),
+  /// then the remaining ranges in ascending order.
+  std::vector<std::pair<uint64_t, uint64_t>> sack_ranges(size_t max_n) const;
+
+  /// Drops everything (connection reset).
+  void clear() {
+    chunks_.clear();
+    ooo_bytes_ = 0;
+  }
+
+ private:
+  std::map<uint64_t, std::vector<uint8_t>> chunks_;
+  size_t ooo_bytes_ = 0;
+  uint64_t last_insert_seq_ = 0;
+};
+
+}  // namespace mptcp

@@ -1,0 +1,43 @@
+// The byte-stream interface applications program against.
+//
+// This is the paper's deployability requirement made concrete (section 2):
+// applications see the same reliable, in-order byte-stream service whether
+// the transport underneath is single-path TCP, MPTCP, or TCP over a bonded
+// link. All workloads in src/app are written against this interface only.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+namespace mptcp {
+
+class StreamSocket {
+ public:
+  virtual ~StreamSocket() = default;
+
+  /// Queues bytes for transmission; returns how many were accepted.
+  virtual size_t write(std::span<const uint8_t> bytes) = 0;
+
+  /// Reads up to out.size() in-order bytes; returns bytes read.
+  virtual size_t read(std::span<uint8_t> out) = 0;
+
+  virtual size_t readable_bytes() const = 0;
+
+  /// True once the peer has finished sending and all data has been read.
+  virtual bool at_eof() const = 0;
+
+  /// Graceful close of the send direction.
+  virtual void close() = 0;
+
+  /// True while data transfer is possible.
+  virtual bool established() const = 0;
+
+  // Application callbacks. Assigned directly; all optional.
+  std::function<void()> on_connected;   ///< stream is established
+  std::function<void()> on_readable;    ///< new data or EOF available
+  std::function<void()> on_send_space;  ///< write() would accept more
+  std::function<void()> on_closed;      ///< stream fully closed or reset
+};
+
+}  // namespace mptcp

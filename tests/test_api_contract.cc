@@ -1,0 +1,128 @@
+// StreamSocket API contracts: what a downstream application may rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/bulk_app.h"
+#include "app/harness.h"
+#include "core/mptcp_stack.h"
+
+namespace mptcp {
+namespace {
+
+struct ApiRig {
+  ApiRig() {
+    rig.add_path(wifi_path());
+    MptcpConfig cfg;
+    cs = std::make_unique<MptcpStack>(rig.client(), cfg);
+    ss = std::make_unique<MptcpStack>(rig.server(), cfg);
+    ss->listen(80, [this](MptcpConnection& c) { sconn = &c; });
+    cconn = &cs->connect(rig.client_addr(0), {rig.server_addr(), 80});
+  }
+  TwoHostRig rig;
+  std::unique_ptr<MptcpStack> cs, ss;
+  MptcpConnection* cconn = nullptr;
+  MptcpConnection* sconn = nullptr;
+};
+
+TEST(ApiContract, WriteBeforeEstablishmentIsBuffered) {
+  ApiRig r;
+  // Nothing has flowed yet; writes must be accepted into the buffer.
+  const auto data = pattern_bytes(0, 10000);
+  EXPECT_EQ(r.cconn->write(data), 10000u);
+  r.rig.loop().run_until(1 * kSecond);
+  ASSERT_NE(r.sconn, nullptr);
+  EXPECT_EQ(r.sconn->readable_bytes(), 10000u);
+}
+
+TEST(ApiContract, ReadOnEmptySocketReturnsZero) {
+  ApiRig r;
+  r.rig.loop().run_until(500 * kMillisecond);
+  uint8_t buf[64];
+  EXPECT_EQ(r.sconn->read(buf), 0u);
+  EXPECT_FALSE(r.sconn->at_eof());
+}
+
+TEST(ApiContract, WriteAfterCloseReturnsZero) {
+  ApiRig r;
+  r.rig.loop().run_until(500 * kMillisecond);
+  r.cconn->close();
+  const auto data = pattern_bytes(0, 100);
+  EXPECT_EQ(r.cconn->write(data), 0u);
+}
+
+TEST(ApiContract, EofOnlyAfterAllDataRead) {
+  ApiRig r;
+  const auto data = pattern_bytes(0, 5000);
+  r.cconn->write(data);
+  r.cconn->close();
+  r.rig.loop().run_until(1 * kSecond);
+  ASSERT_NE(r.sconn, nullptr);
+  EXPECT_FALSE(r.sconn->at_eof()) << "unread data pending";
+  uint8_t buf[8192];
+  size_t total = 0;
+  for (;;) {
+    const size_t n = r.sconn->read(buf);
+    if (n == 0) break;
+    total += n;
+  }
+  EXPECT_EQ(total, 5000u);
+  EXPECT_TRUE(r.sconn->at_eof());
+}
+
+TEST(ApiContract, OnReadableFiresForEofAloneToo) {
+  ApiRig r;
+  r.rig.loop().run_until(500 * kMillisecond);
+  ASSERT_NE(r.sconn, nullptr);
+  int readable_events = 0;
+  r.sconn->on_readable = [&] { ++readable_events; };
+  r.cconn->close();  // no data at all, just EOF
+  r.rig.loop().run_until(1 * kSecond);
+  EXPECT_GT(readable_events, 0);
+  EXPECT_TRUE(r.sconn->at_eof());
+}
+
+TEST(ApiContract, OnSendSpaceFiresWhenBufferDrains) {
+  TwoHostRig rig;
+  rig.add_path(wifi_path());
+  MptcpConfig cfg;
+  cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 20 * 1000;
+  MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);
+  std::unique_ptr<BulkReceiver> rx;
+  ss.listen(80, [&](MptcpConnection& c) {
+    rx = std::make_unique<BulkReceiver>(c, false);
+  });
+  MptcpConnection& cc = cs.connect(rig.client_addr(0),
+                                   {rig.server_addr(), 80});
+  // Fill the buffer completely.
+  const auto big = pattern_bytes(0, 40 * 1000);
+  const size_t first = cc.write(big);
+  EXPECT_LE(first, 20u * 1000u);
+  int space_events = 0;
+  cc.on_send_space = [&] { ++space_events; };
+  rig.loop().run_until(2 * kSecond);
+  EXPECT_GT(space_events, 0);
+}
+
+TEST(ApiContract, CallbacksClearableWithoutCrash) {
+  ApiRig r;
+  r.cconn->on_connected = nullptr;
+  r.cconn->on_readable = nullptr;
+  r.cconn->on_send_space = nullptr;
+  r.cconn->on_closed = nullptr;
+  const auto data = pattern_bytes(0, 1000);
+  r.cconn->write(data);
+  r.cconn->close();
+  r.rig.loop().run_until(2 * kSecond);  // must not crash
+  SUCCEED();
+}
+
+TEST(ApiContract, ZeroByteWriteIsANoOp) {
+  ApiRig r;
+  EXPECT_EQ(r.cconn->write({}), 0u);
+  r.rig.loop().run_until(500 * kMillisecond);
+  EXPECT_TRUE(r.cconn->established());
+}
+
+}  // namespace
+}  // namespace mptcp

@@ -1,0 +1,163 @@
+// SendBuffer and ReassemblyQueue tests, including randomized
+// property-style checks of reassembly under arbitrary arrival orders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/rng.h"
+#include "tcp/tcp_buffers.h"
+
+namespace mptcp {
+namespace {
+
+// --- SendBuffer ----------------------------------------------------------------
+
+TEST(SendBuffer, AppendRespectsCapacity) {
+  SendBuffer buf(1000);
+  std::vector<uint8_t> data(100, 7);
+  EXPECT_EQ(buf.append(data, 150), 100u);
+  EXPECT_EQ(buf.append(data, 150), 50u);
+  EXPECT_EQ(buf.append(data, 150), 0u);
+  EXPECT_EQ(buf.size(), 150u);
+  EXPECT_EQ(buf.end_seq(), 1150u);
+}
+
+TEST(SendBuffer, CopyOutReturnsCorrectRange) {
+  SendBuffer buf(500);
+  std::vector<uint8_t> data(26);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>('a' + i);
+  }
+  buf.append(data, 100);
+  std::vector<uint8_t> out;
+  buf.copy_out(505, 3, out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{'f', 'g', 'h'}));
+}
+
+TEST(SendBuffer, FreeThroughAdvancesBase) {
+  SendBuffer buf(0);
+  std::vector<uint8_t> data(100);
+  for (size_t i = 0; i < 100; ++i) data[i] = static_cast<uint8_t>(i);
+  buf.append(data, 100);
+  buf.free_through(40);
+  EXPECT_EQ(buf.base_seq(), 40u);
+  EXPECT_EQ(buf.size(), 60u);
+  std::vector<uint8_t> out;
+  buf.copy_out(40, 2, out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{40, 41}));
+  // Freeing below base is a no-op.
+  buf.free_through(10);
+  EXPECT_EQ(buf.base_seq(), 40u);
+}
+
+// --- ReassemblyQueue -------------------------------------------------------------
+
+std::vector<uint8_t> fill(uint64_t seq, size_t n) {
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(seq + i);
+  return out;
+}
+
+/// Pops everything that is ready and checks content correctness.
+uint64_t drain_and_verify(ReassemblyQueue& q, uint64_t rcv_nxt) {
+  while (auto ready = q.pop_ready(rcv_nxt)) {
+    EXPECT_EQ(ready->first, rcv_nxt);
+    for (size_t i = 0; i < ready->second.size(); ++i) {
+      EXPECT_EQ(ready->second[i], static_cast<uint8_t>(rcv_nxt + i));
+    }
+    rcv_nxt += ready->second.size();
+  }
+  return rcv_nxt;
+}
+
+TEST(ReassemblyQueue, InOrderChunksPopImmediately) {
+  ReassemblyQueue q;
+  q.insert(0, fill(0, 10));
+  EXPECT_EQ(drain_and_verify(q, 0), 10u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ReassemblyQueue, GapHoldsDataUntilFilled) {
+  ReassemblyQueue q;
+  q.insert(10, fill(10, 10));
+  EXPECT_FALSE(q.pop_ready(0).has_value());
+  q.insert(0, fill(0, 10));
+  EXPECT_EQ(drain_and_verify(q, 0), 20u);
+}
+
+TEST(ReassemblyQueue, OverlapsAreTrimmedFirstArrivalWins) {
+  ReassemblyQueue q;
+  q.insert(5, fill(5, 10));   // [5,15)
+  q.insert(0, fill(0, 10));   // [0,10) -> tail overlaps, trimmed to [0,5)
+  q.insert(12, fill(12, 10)); // [12,22) -> head trimmed to [15,22)
+  EXPECT_EQ(drain_and_verify(q, 0), 22u);
+  EXPECT_EQ(q.ooo_bytes(), 0u);
+}
+
+TEST(ReassemblyQueue, ChunkSpanningExistingChunkIsSplit) {
+  ReassemblyQueue q;
+  q.insert(10, fill(10, 5));  // [10,15)
+  q.insert(0, fill(0, 30));   // spans it: [0,10) + [15,30)
+  EXPECT_EQ(drain_and_verify(q, 0), 30u);
+}
+
+TEST(ReassemblyQueue, ExactDuplicateIsDropped) {
+  ReassemblyQueue q;
+  q.insert(10, fill(10, 10));
+  const size_t before = q.ooo_bytes();
+  q.insert(10, fill(10, 10));
+  EXPECT_EQ(q.ooo_bytes(), before);
+}
+
+TEST(ReassemblyQueue, SackRangesMergeContiguousChunks) {
+  ReassemblyQueue q;
+  q.insert(10, fill(10, 5));
+  q.insert(15, fill(15, 5));  // contiguous with previous
+  q.insert(30, fill(30, 5));
+  const auto ranges = q.sack_ranges(3);
+  ASSERT_EQ(ranges.size(), 2u);
+  // Most recent arrival ([30,35)) first, per RFC 2018.
+  EXPECT_EQ(ranges[0], (std::pair<uint64_t, uint64_t>{30, 35}));
+  EXPECT_EQ(ranges[1], (std::pair<uint64_t, uint64_t>{10, 20}));
+}
+
+TEST(ReassemblyQueue, SackRangesRespectLimit) {
+  ReassemblyQueue q;
+  for (uint64_t i = 0; i < 10; ++i) q.insert(i * 100, fill(i * 100, 10));
+  EXPECT_EQ(q.sack_ranges(3).size(), 3u);
+}
+
+/// Property: any permutation of segments reassembles to the exact stream.
+class ReassemblyShuffle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReassemblyShuffle, RandomArrivalOrderReassemblesExactly) {
+  Rng rng(GetParam());
+  constexpr size_t kSegments = 200;
+  constexpr size_t kSegLen = 17;  // deliberately odd
+  std::vector<uint64_t> seqs;
+  for (size_t i = 0; i < kSegments; ++i) seqs.push_back(i * kSegLen);
+  // Fisher-Yates with our deterministic RNG.
+  for (size_t i = seqs.size() - 1; i > 0; --i) {
+    std::swap(seqs[i], seqs[rng.next_below(i + 1)]);
+  }
+  ReassemblyQueue q;
+  uint64_t rcv_nxt = 0;
+  for (uint64_t seq : seqs) {
+    // Occasionally deliver duplicates and overlapping extents.
+    q.insert(seq, fill(seq, kSegLen));
+    if (rng.chance(0.3)) q.insert(seq, fill(seq, kSegLen));
+    if (rng.chance(0.2) && seq >= kSegLen) {
+      q.insert(seq - 5, fill(seq - 5, 10));
+    }
+    rcv_nxt = drain_and_verify(q, rcv_nxt);
+  }
+  EXPECT_EQ(rcv_nxt, kSegments * kSegLen);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.ooo_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReassemblyShuffle,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mptcp

@@ -1,0 +1,100 @@
+// Robustness of the wire codec against arbitrary bytes: a liberal TCP
+// receiver must parse-or-reject, never crash, never read out of bounds,
+// and round-trip whatever it accepts.
+#include <gtest/gtest.h>
+
+#include "net/rng.h"
+#include "net/wire.h"
+
+namespace mptcp {
+namespace {
+
+FourTuple t() {
+  return {{IpAddr(10, 0, 0, 1), 1}, {IpAddr(10, 0, 0, 2), 2}};
+}
+
+class CodecFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashParser) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t n = rng.next_below(120);
+    std::vector<uint8_t> bytes(n);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.next_u64());
+    // Must not crash; result may be nullopt or an arbitrary segment.
+    auto seg = parse_segment(bytes, t());
+    if (seg) {
+      // Whatever parsed must re-serialize without issue.
+      auto re = serialize_segment(*seg);
+      EXPECT_GE(re.size(), kTcpHeaderSize);
+    }
+    // Option parser on raw noise.
+    auto opts = parse_options(bytes);
+    for (const auto& o : opts) {
+      EXPECT_GT(option_wire_size(o), 0u);
+    }
+  }
+}
+
+TEST_P(CodecFuzz, BitFlippedValidSegmentsParseOrReject) {
+  Rng rng(GetParam() ^ 0xF00D);
+  TcpSegment seg;
+  seg.tuple = t();
+  seg.seq = 1234;
+  seg.ack = 5678;
+  seg.ack_flag = true;
+  seg.options = {TimestampOption{9, 8},
+                 DssOption{77, DssMapping{100, 1, 64, 0xbeef}, false, 0},
+                 SackOption{{{10, 20}, {30, 40}}}};
+  seg.payload.assign(64, 0x5A);
+  const auto base = serialize_segment(seg);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = base;
+    const int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.next_below(bytes.size())] ^=
+          static_cast<uint8_t>(1u << rng.next_below(8));
+    }
+    auto parsed = parse_segment(bytes, t());
+    if (parsed) {
+      auto re = serialize_segment(*parsed);
+      EXPECT_GE(re.size(), kTcpHeaderSize);
+    }
+  }
+}
+
+TEST_P(CodecFuzz, TruncatedValidSegmentsParseOrReject) {
+  Rng rng(GetParam() ^ 0xCAFE);
+  TcpSegment seg;
+  seg.tuple = t();
+  seg.syn = true;
+  seg.options = {MssOption{1460}, WindowScaleOption{7},
+                 SackPermittedOption{}, TimestampOption{1, 0},
+                 MpCapableOption{0, true, 0x1122334455667788ULL,
+                                 std::nullopt}};
+  const auto base = serialize_segment(seg);
+  for (size_t cut = 0; cut < base.size(); ++cut) {
+    std::vector<uint8_t> bytes(base.begin(), base.begin() + cut);
+    auto parsed = parse_segment(bytes, t());  // must not crash
+    (void)parsed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range<uint64_t>(1, 9));
+
+TEST(CodecFuzzOnce, OptionsTruncatedMidOptionAreSkipped) {
+  // kind=30 (MPTCP), length says 20 but only 6 bytes follow.
+  std::vector<uint8_t> bytes = {30, 20, 0x00, 0x80, 1, 2};
+  auto opts = parse_options(bytes);  // must not crash or over-read
+  EXPECT_TRUE(opts.empty() || opts.size() == 1);
+}
+
+TEST(CodecFuzzOnce, ZeroLengthOptionTerminates) {
+  std::vector<uint8_t> bytes = {2, 0, 99, 99};  // MSS with bogus len 0
+  auto opts = parse_options(bytes);
+  EXPECT_TRUE(opts.empty());
+}
+
+}  // namespace
+}  // namespace mptcp

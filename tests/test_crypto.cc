@@ -1,0 +1,205 @@
+// SHA-1 / HMAC-SHA1 against the RFC test vectors, plus the MPTCP key
+// derivations (token, IDSN, MP_JOIN MACs).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "net/checksum.h"
+#include "net/sha1.h"
+
+namespace mptcp {
+namespace {
+
+std::string hex(std::span<const uint8_t> d) {
+  static const char* k = "0123456789abcdef";
+  std::string out;
+  for (uint8_t b : d) {
+    out += k[b >> 4];
+    out += k[b & 0xf];
+  }
+  return out;
+}
+
+std::span<const uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// --- RFC 3174 test vectors -------------------------------------------------
+
+TEST(Sha1, Rfc3174Vector1) {
+  EXPECT_EQ(hex(Sha1::hash(bytes_of("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Rfc3174Vector2) {
+  EXPECT_EQ(hex(Sha1::hash(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, EmptyInput) {
+  EXPECT_EQ(hex(Sha1::hash({})),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string a(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(bytes_of(a));
+  EXPECT_EQ(hex(h.digest()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog multiple times";
+  Sha1 inc;
+  for (char c : msg) {
+    const uint8_t b = static_cast<uint8_t>(c);
+    inc.update({&b, 1});
+  }
+  EXPECT_EQ(hex(inc.digest()), hex(Sha1::hash(bytes_of(msg))));
+}
+
+// Boundary lengths around the 64-byte block size (padding edge cases).
+class Sha1Boundary : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha1Boundary, SplitUpdateMatchesOneShot) {
+  const size_t n = GetParam();
+  std::vector<uint8_t> msg(n);
+  for (size_t i = 0; i < n; ++i) msg[i] = static_cast<uint8_t>(i * 7);
+  Sha1 split;
+  const size_t half = n / 2;
+  split.update({msg.data(), half});
+  split.update({msg.data() + half, n - half});
+  EXPECT_EQ(hex(split.digest()), hex(Sha1::hash(msg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockEdges, Sha1Boundary,
+                         ::testing::Values(1, 54, 55, 56, 57, 63, 64, 65,
+                                           119, 120, 121, 127, 128, 129));
+
+// --- RFC 2202 HMAC-SHA1 test vectors ---------------------------------------
+
+TEST(HmacSha1, Rfc2202Case1) {
+  std::vector<uint8_t> key(20, 0x0b);
+  EXPECT_EQ(hex(hmac_sha1(key, bytes_of("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  EXPECT_EQ(hex(hmac_sha1(bytes_of("Jefe"),
+                          bytes_of("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, Rfc2202Case3) {
+  std::vector<uint8_t> key(20, 0xaa);
+  std::vector<uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(hex(hmac_sha1(key, msg)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, Rfc2202Case6LongKey) {
+  std::vector<uint8_t> key(80, 0xaa);
+  EXPECT_EQ(hex(hmac_sha1(key, bytes_of("Test Using Larger Than Block-Size "
+                                        "Key - Hash Key First"))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+// --- MPTCP derivations ------------------------------------------------------
+
+TEST(MptcpKeys, TokenIsTop32BitsOfKeyHash) {
+  const uint64_t key = 0x0102030405060708ULL;
+  const uint8_t key_be[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto d = Sha1::hash(key_be);
+  const uint32_t expect = (uint32_t{d[0]} << 24) | (uint32_t{d[1]} << 16) |
+                          (uint32_t{d[2]} << 8) | d[3];
+  EXPECT_EQ(mptcp_token_from_key(key), expect);
+}
+
+TEST(MptcpKeys, IdsnIsBottom64BitsOfKeyHash) {
+  const uint64_t key = 0xfeedfacecafebeefULL;
+  const uint64_t idsn = mptcp_idsn_from_key(key);
+  // Independent derivation.
+  uint8_t be[8];
+  for (int i = 0; i < 8; ++i) be[i] = static_cast<uint8_t>(key >> (56 - 8 * i));
+  const auto d = Sha1::hash(be);
+  uint64_t expect = 0;
+  for (int i = 12; i < 20; ++i) expect = (expect << 8) | d[i];
+  EXPECT_EQ(idsn, expect);
+}
+
+TEST(MptcpKeys, DistinctKeysYieldDistinctTokens) {
+  // Not guaranteed in theory, overwhelmingly likely in practice; a
+  // regression here would indicate broken hashing.
+  EXPECT_NE(mptcp_token_from_key(1), mptcp_token_from_key(2));
+  EXPECT_NE(mptcp_token_from_key(0xffffffffffffffffULL),
+            mptcp_token_from_key(0xfffffffffffffffeULL));
+}
+
+TEST(MptcpKeys, JoinMacIsDirectional) {
+  const uint64_t ka = 0x1111, kb = 0x2222;
+  const uint32_t ra = 0x3333, rb = 0x4444;
+  // HMAC-A (client->server) and HMAC-B (server->client) must differ.
+  EXPECT_NE(mptcp_join_mac64(ka, kb, ra, rb),
+            mptcp_join_mac64(kb, ka, rb, ra));
+}
+
+TEST(MptcpKeys, JoinMacDependsOnEveryInput) {
+  const uint64_t base = mptcp_join_mac64(1, 2, 3, 4);
+  EXPECT_NE(base, mptcp_join_mac64(9, 2, 3, 4));
+  EXPECT_NE(base, mptcp_join_mac64(1, 9, 3, 4));
+  EXPECT_NE(base, mptcp_join_mac64(1, 2, 9, 4));
+  EXPECT_NE(base, mptcp_join_mac64(1, 2, 3, 9));
+}
+
+// --- RFC 1071 checksum ------------------------------------------------------
+
+TEST(Checksum, KnownVector) {
+  // Classic example from RFC 1071 section 3.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(ones_complement_sum(data), 0xddf2);
+  EXPECT_EQ(internet_checksum(data), static_cast<uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const uint8_t data[] = {0x12, 0x34, 0x56};
+  // 0x1234 + 0x5600 = 0x6834.
+  EXPECT_EQ(ones_complement_sum(data), 0x6834);
+}
+
+TEST(Checksum, CarryWrapsAround) {
+  const uint8_t data[] = {0xff, 0xff, 0x00, 0x02};
+  // 0xffff + 0x0002 = 0x10001 -> fold -> 0x0002.
+  EXPECT_EQ(ones_complement_sum(data), 0x0002);
+}
+
+TEST(Checksum, AccumulatorMatchesOneShot) {
+  std::vector<uint8_t> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 13);
+  }
+  ChecksumAccumulator acc;
+  acc.add_bytes({data.data(), 500});
+  acc.add_bytes({data.data() + 500, 500});
+  EXPECT_EQ(acc.fold(), ones_complement_sum(data));
+}
+
+TEST(Checksum, PartialSumSharing) {
+  // The section 3.3.6 trick: a block's folded sum can be added into a
+  // larger accumulation and match summing the bytes directly.
+  std::vector<uint8_t> head = {1, 2, 3, 4};
+  std::vector<uint8_t> tail = {5, 6, 7, 8, 9, 10};
+  ChecksumAccumulator direct;
+  direct.add_bytes(head);
+  direct.add_bytes(tail);
+
+  ChecksumAccumulator shared;
+  shared.add_bytes(head);
+  shared.add_partial(ones_complement_sum(tail));
+  EXPECT_EQ(shared.fold(), direct.fold());
+}
+
+}  // namespace
+}  // namespace mptcp

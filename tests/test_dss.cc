@@ -1,0 +1,179 @@
+// Data-sequence mapping bookkeeping and DSS checksum behaviour
+// (sections 3.3.4-3.3.6).
+#include <gtest/gtest.h>
+
+#include "core/dss.h"
+#include "net/rng.h"
+
+namespace mptcp {
+namespace {
+
+std::vector<uint8_t> fill(uint64_t seed, size_t n) {
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(seed + i * 3);
+  return out;
+}
+
+MappingRecord make_rec(uint64_t ssn, uint64_t dsn, uint32_t len,
+                       const std::vector<uint8_t>* payload = nullptr) {
+  MappingRecord rec;
+  rec.ssn_begin = ssn;
+  rec.ssn_rel = static_cast<uint32_t>(ssn & 0xffffffff);
+  rec.dsn = dsn;
+  rec.length = len;
+  if (payload != nullptr) {
+    rec.checksum = dss_checksum(dsn, rec.ssn_rel,
+                                static_cast<uint16_t>(len), *payload);
+  }
+  return rec;
+}
+
+// --- checksum ----------------------------------------------------------------
+
+TEST(DssChecksum, DetectsSingleBitFlip) {
+  auto payload = fill(1, 1000);
+  const uint16_t c = dss_checksum(500, 7, 1000, payload);
+  payload[400] ^= 0x01;
+  EXPECT_NE(dss_checksum(500, 7, 1000, payload), c);
+}
+
+TEST(DssChecksum, CoversPseudoHeaderFields) {
+  const auto payload = fill(1, 100);
+  const uint16_t base = dss_checksum(500, 7, 100, payload);
+  EXPECT_NE(dss_checksum(501, 7, 100, payload), base);
+  EXPECT_NE(dss_checksum(500, 8, 100, payload), base);
+  EXPECT_NE(dss_checksum(500, 7, 99, {payload.data(), 99}), base);
+}
+
+TEST(DssChecksum, PartialFormMatchesDirectForm) {
+  const auto payload = fill(9, 777);
+  EXPECT_EQ(dss_checksum(123, 456, 777, payload),
+            dss_checksum_from_partial(123, 456, 777,
+                                      ones_complement_sum(payload)));
+}
+
+// --- SenderMappings ------------------------------------------------------------
+
+TEST(SenderMappings, FindLocatesCoveringMapping) {
+  SenderMappings m;
+  m.add(make_rec(1000, 50000, 500));
+  m.add(make_rec(1500, 90000, 300));
+  ASSERT_NE(m.find(1000), nullptr);
+  EXPECT_EQ(m.find(1000)->dsn, 50000u);
+  ASSERT_NE(m.find(1499), nullptr);
+  EXPECT_EQ(m.find(1499)->dsn_for(1499), 50499u);
+  ASSERT_NE(m.find(1500), nullptr);
+  EXPECT_EQ(m.find(1500)->dsn, 90000u);
+  EXPECT_EQ(m.find(999), nullptr);
+  EXPECT_EQ(m.find(1800), nullptr);
+}
+
+TEST(SenderMappings, ReleaseBelowDropsFullyAckedOnly) {
+  SenderMappings m;
+  m.add(make_rec(1000, 1, 500));
+  m.add(make_rec(1500, 501, 500));
+  m.release_below(1500);
+  EXPECT_EQ(m.find(1000), nullptr);
+  EXPECT_NE(m.find(1600), nullptr);
+  // Partially acked mapping must be retained (retransmission needs it).
+  m.release_below(1700);
+  EXPECT_NE(m.find(1600), nullptr);
+}
+
+// --- ReceiverMappings ------------------------------------------------------------
+
+TEST(ReceiverMappings, InOrderFeedDeliversMappedData) {
+  ReceiverMappings m;
+  const auto payload = fill(0, 1000);
+  m.add(make_rec(5000, 777000, 1000, &payload));
+  auto out = m.feed(5000, payload, /*verify=*/true);
+  ASSERT_EQ(out.deliver.size(), 1u);
+  EXPECT_EQ(out.deliver[0].first, 777000u);
+  EXPECT_EQ(out.deliver[0].second, payload);
+  EXPECT_TRUE(out.checksum_failures.empty());
+}
+
+TEST(ReceiverMappings, SegmentedFeedHeldUntilMappingCompletes) {
+  ReceiverMappings m;
+  const auto payload = fill(0, 3000);
+  m.add(make_rec(1000, 50, 3000, &payload));
+  auto out1 = m.feed(1000, {payload.data(), 1460}, true);
+  EXPECT_TRUE(out1.deliver.empty());
+  EXPECT_EQ(m.held_bytes(), 1460u);
+  auto out2 = m.feed(2460, {payload.data() + 1460, 1540}, true);
+  ASSERT_EQ(out2.deliver.size(), 1u);
+  EXPECT_EQ(out2.deliver[0].second.size(), 3000u);
+  EXPECT_EQ(m.held_bytes(), 0u);
+}
+
+TEST(ReceiverMappings, CorruptedMappingReportedNotDelivered) {
+  ReceiverMappings m;
+  auto payload = fill(0, 500);
+  m.add(make_rec(1000, 9000, 500, &payload));
+  payload[100] ^= 0xff;  // middlebox modification
+  auto out = m.feed(1000, payload, true);
+  EXPECT_TRUE(out.deliver.empty());
+  ASSERT_EQ(out.checksum_failures.size(), 1u);
+  EXPECT_EQ(out.checksum_failures[0].first.dsn, 9000u);
+  // The modified bytes ride along for fallback delivery.
+  EXPECT_EQ(out.checksum_failures[0].second.size(), 500u);
+}
+
+TEST(ReceiverMappings, UnmappedBytesAreDroppedAndCounted) {
+  ReceiverMappings m;
+  const auto mapped = fill(0, 500);
+  m.add(make_rec(2000, 70000, 500, &mapped));
+  // 300 unmapped bytes (a coalescer ate their DSS), then mapped data.
+  std::vector<uint8_t> wire = fill(7, 300);
+  wire.insert(wire.end(), mapped.begin(), mapped.end());
+  auto out = m.feed(1700, wire, true);
+  ASSERT_EQ(out.deliver.size(), 1u);
+  EXPECT_EQ(out.deliver[0].first, 70000u);
+  EXPECT_EQ(m.unmapped_bytes(), 300u);
+}
+
+TEST(ReceiverMappings, ChecksumsDisabledDeliversImmediately) {
+  ReceiverMappings m;
+  const auto payload = fill(0, 2920);
+  m.add(make_rec(1000, 10, 2920));  // no checksum
+  auto out = m.feed(1000, {payload.data(), 1460}, false);
+  ASSERT_EQ(out.deliver.size(), 1u);
+  EXPECT_EQ(out.deliver[0].first, 10u);
+  EXPECT_EQ(out.deliver[0].second.size(), 1460u);
+}
+
+TEST(ReceiverMappings, DuplicateMappingIsIdempotent) {
+  ReceiverMappings m;
+  EXPECT_TRUE(m.add(make_rec(1000, 5, 100)));
+  EXPECT_TRUE(m.add(make_rec(1000, 5, 100)));  // TSO copy
+  EXPECT_FALSE(m.add(make_rec(1000, 99, 100)));  // conflicting
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ReceiverMappings, FeedSpanningTwoMappings) {
+  ReceiverMappings m;
+  const auto p1 = fill(1, 400);
+  const auto p2 = fill(2, 600);
+  m.add(make_rec(1000, 100, 400, &p1));
+  m.add(make_rec(1400, 500, 600, &p2));
+  std::vector<uint8_t> wire = p1;
+  wire.insert(wire.end(), p2.begin(), p2.end());
+  auto out = m.feed(1000, wire, true);
+  ASSERT_EQ(out.deliver.size(), 2u);
+  EXPECT_EQ(out.deliver[0].first, 100u);
+  EXPECT_EQ(out.deliver[1].first, 500u);
+}
+
+TEST(ReceiverMappings, ReleaseBelowReclaimsHeldBytes) {
+  ReceiverMappings m;
+  const auto payload = fill(0, 1000);
+  m.add(make_rec(1000, 50, 1000, &payload));
+  m.feed(1000, {payload.data(), 500}, true);  // half fed, half held
+  EXPECT_EQ(m.held_bytes(), 500u);
+  m.release_below(2000);
+  EXPECT_EQ(m.held_bytes(), 0u);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mptcp

@@ -1,0 +1,296 @@
+// Unit tests for individual middlebox elements (integration coverage
+// lives in test_middlebox.cc; these pin the per-element mechanics).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "middlebox/nat.h"
+#include "middlebox/option_stripper.h"
+#include "middlebox/payload_modifier.h"
+#include "middlebox/proactive_acker.h"
+#include "middlebox/segment_coalescer.h"
+#include "middlebox/segment_splitter.h"
+#include "middlebox/seq_rewriter.h"
+
+namespace mptcp {
+namespace {
+
+struct Capture : PacketSink {
+  std::vector<TcpSegment> got;
+  void deliver(TcpSegment seg) override { got.push_back(std::move(seg)); }
+};
+
+TcpSegment data_seg(uint32_t seq, size_t len, bool syn = false) {
+  TcpSegment seg;
+  seg.tuple = {{IpAddr(10, 0, 0, 2), 1111}, {IpAddr(10, 99, 0, 1), 80}};
+  seg.seq = seq;
+  seg.syn = syn;
+  seg.ack_flag = !syn;
+  seg.payload.assign(len, 0xAB);
+  return seg;
+}
+
+// --- OptionStripper -----------------------------------------------------------
+
+TEST(OptionStripperUnit, SynOnlyScopeLeavesDataSegmentsAlone) {
+  OptionStripper strip(OptionStripper::Scope::kSynOnly,
+                       OptionStripper::What::kAllMptcp);
+  Capture out;
+  strip.set_target(&out);
+
+  TcpSegment syn = data_seg(1, 0, true);
+  syn.options.push_back(MpCapableOption{0, true, 42ULL, std::nullopt});
+  syn.options.push_back(MssOption{1460});
+  strip.deliver(syn);
+
+  TcpSegment data = data_seg(2, 100);
+  data.options.push_back(DssOption{1, std::nullopt, false, 0});
+  strip.deliver(data);
+
+  ASSERT_EQ(out.got.size(), 2u);
+  EXPECT_EQ(find_option<MpCapableOption>(out.got[0].options), nullptr);
+  EXPECT_NE(find_option<MssOption>(out.got[0].options), nullptr);
+  EXPECT_NE(find_option<DssOption>(out.got[1].options), nullptr);
+  EXPECT_EQ(strip.options_removed(), 1u);
+}
+
+TEST(OptionStripperUnit, AllUnknownKeepsStandardOptions) {
+  OptionStripper strip(OptionStripper::Scope::kAllSegments,
+                       OptionStripper::What::kAllUnknown);
+  Capture out;
+  strip.set_target(&out);
+  TcpSegment seg = data_seg(1, 10);
+  seg.options = {TimestampOption{1, 2}, SackOption{{{5, 9}}},
+                 DssOption{7, std::nullopt, false, 0},
+                 AddAddrOption{1, IpAddr(1, 2, 3, 4), std::nullopt}};
+  strip.deliver(seg);
+  ASSERT_EQ(out.got.size(), 1u);
+  EXPECT_EQ(out.got[0].options.size(), 2u);
+  EXPECT_NE(find_option<TimestampOption>(out.got[0].options), nullptr);
+  EXPECT_NE(find_option<SackOption>(out.got[0].options), nullptr);
+}
+
+// --- SeqRewriter ------------------------------------------------------------------
+
+TEST(SeqRewriterUnit, ForwardShiftsConsistentlyAndReverseUndoes) {
+  SeqRewriter rw(7);
+  Capture fwd, rev;
+  rw.set_forward_target(&fwd);
+  rw.set_reverse_target(&rev);
+
+  TcpSegment syn = data_seg(1000, 0, true);
+  rw.forward_sink().deliver(syn);
+  TcpSegment d1 = data_seg(1001, 100);
+  rw.forward_sink().deliver(d1);
+  ASSERT_EQ(fwd.got.size(), 2u);
+  const uint32_t delta = fwd.got[0].seq - 1000;
+  EXPECT_EQ(fwd.got[1].seq, 1001 + delta);
+
+  // Reverse: ack and SACK blocks shifted back.
+  TcpSegment ack;
+  ack.tuple = syn.tuple.reversed();
+  ack.ack_flag = true;
+  ack.ack = 1101 + delta;
+  ack.options.push_back(SackOption{{{2000 + delta, 2100 + delta}}});
+  rw.reverse_sink().deliver(ack);
+  ASSERT_EQ(rev.got.size(), 1u);
+  EXPECT_EQ(rev.got[0].ack, 1101u);
+  const auto* sack = find_option<SackOption>(rev.got[0].options);
+  ASSERT_NE(sack, nullptr);
+  EXPECT_EQ(sack->blocks[0].begin, 2000u);
+  EXPECT_EQ(sack->blocks[0].end, 2100u);
+}
+
+TEST(SeqRewriterUnit, MidFlowSegmentsWithoutSynPassUntouched) {
+  SeqRewriter rw(7);
+  Capture fwd;
+  rw.set_forward_target(&fwd);
+  rw.forward_sink().deliver(data_seg(5000, 10));
+  ASSERT_EQ(fwd.got.size(), 1u);
+  EXPECT_EQ(fwd.got[0].seq, 5000u);
+}
+
+// --- Nat -------------------------------------------------------------------------
+
+TEST(NatUnit, StableMappingPerPrivateEndpoint) {
+  Nat nat(IpAddr(192, 0, 2, 1));
+  Capture fwd, rev;
+  nat.set_forward_target(&fwd);
+  nat.set_reverse_target(&rev);
+
+  nat.forward_sink().deliver(data_seg(1, 0, true));
+  nat.forward_sink().deliver(data_seg(2, 10));
+  ASSERT_EQ(fwd.got.size(), 2u);
+  EXPECT_EQ(fwd.got[0].tuple.src.addr, IpAddr(192, 0, 2, 1));
+  EXPECT_EQ(fwd.got[0].tuple.src, fwd.got[1].tuple.src);
+  EXPECT_EQ(nat.mappings(), 1u);
+
+  // Return traffic to the public endpoint maps back.
+  TcpSegment back;
+  back.tuple = {fwd.got[0].tuple.dst, fwd.got[0].tuple.src};
+  nat.reverse_sink().deliver(back);
+  ASSERT_EQ(rev.got.size(), 1u);
+  EXPECT_EQ(rev.got[0].tuple.dst, (Endpoint{IpAddr(10, 0, 0, 2), 1111}));
+}
+
+TEST(NatUnit, UnknownInboundIsDropped) {
+  Nat nat(IpAddr(192, 0, 2, 1));
+  Capture rev;
+  nat.set_reverse_target(&rev);
+  TcpSegment stray;
+  stray.tuple = {{IpAddr(8, 8, 8, 8), 53}, {IpAddr(192, 0, 2, 1), 7777}};
+  nat.reverse_sink().deliver(stray);
+  EXPECT_TRUE(rev.got.empty());
+}
+
+// --- SegmentSplitter ---------------------------------------------------------------
+
+TEST(SplitterUnit, CopiesOptionsToEveryPartAndAdjustsSeq) {
+  SegmentSplitter split(400);
+  Capture out;
+  split.set_target(&out);
+  TcpSegment big = data_seg(1000, 1000);
+  big.options.push_back(
+      DssOption{5, DssMapping{99, 1, 1000, 0x1234}, false, 0});
+  big.fin = true;
+  split.deliver(big);
+
+  ASSERT_EQ(out.got.size(), 3u);
+  EXPECT_EQ(out.got[0].seq, 1000u);
+  EXPECT_EQ(out.got[1].seq, 1400u);
+  EXPECT_EQ(out.got[2].seq, 1800u);
+  EXPECT_EQ(out.got[2].payload.size(), 200u);
+  for (const auto& part : out.got) {
+    const auto* dss = find_option<DssOption>(part.options);
+    ASSERT_NE(dss, nullptr);
+    EXPECT_EQ(dss->mapping->dsn, 99u);  // identical copies, as TSO does
+  }
+  EXPECT_FALSE(out.got[0].fin);
+  EXPECT_TRUE(out.got[2].fin);  // FIN rides the last part
+}
+
+TEST(SplitterUnit, SmallSegmentsPassThrough) {
+  SegmentSplitter split(1460);
+  Capture out;
+  split.set_target(&out);
+  split.deliver(data_seg(1, 500));
+  ASSERT_EQ(out.got.size(), 1u);
+  EXPECT_EQ(split.splits(), 0u);
+}
+
+// --- SegmentCoalescer ---------------------------------------------------------------
+
+TEST(CoalescerUnit, MergesContiguousPairKeepingFirstOptions) {
+  EventLoop loop;
+  SegmentCoalescer co(loop, 10 * kMillisecond, 2);
+  Capture out;
+  co.set_target(&out);
+
+  TcpSegment a = data_seg(1000, 100);
+  a.options.push_back(DssOption{1, DssMapping{10, 1, 100, 0x1}, false, 0});
+  TcpSegment b = data_seg(1100, 100);
+  b.options.push_back(DssOption{2, DssMapping{110, 101, 100, 0x2}, false, 0});
+  co.deliver(a);
+  co.deliver(b);
+  loop.run();
+
+  ASSERT_EQ(out.got.size(), 1u);
+  EXPECT_EQ(out.got[0].payload.size(), 200u);
+  const auto* dss = find_option<DssOption>(out.got[0].options);
+  ASSERT_NE(dss, nullptr);
+  EXPECT_EQ(dss->mapping->dsn, 10u);  // the second mapping is lost
+  EXPECT_EQ(co.coalesced(), 1u);
+}
+
+TEST(CoalescerUnit, NonContiguousFlushesHeldSegment) {
+  EventLoop loop;
+  SegmentCoalescer co(loop, 10 * kMillisecond, 2);
+  Capture out;
+  co.set_target(&out);
+  co.deliver(data_seg(1000, 100));
+  co.deliver(data_seg(5000, 100));  // gap: first must flush unmerged
+  loop.run();
+  ASSERT_EQ(out.got.size(), 2u);
+  EXPECT_EQ(out.got[0].seq, 1000u);
+  EXPECT_EQ(out.got[0].payload.size(), 100u);
+}
+
+TEST(CoalescerUnit, HoldTimerFlushesLoneSegment) {
+  EventLoop loop;
+  SegmentCoalescer co(loop, 10 * kMillisecond, 2);
+  Capture out;
+  co.set_target(&out);
+  co.deliver(data_seg(1000, 100));
+  loop.run_until(5 * kMillisecond);
+  EXPECT_TRUE(out.got.empty());  // still held
+  loop.run_until(20 * kMillisecond);
+  ASSERT_EQ(out.got.size(), 1u);
+}
+
+// --- ProactiveAcker ------------------------------------------------------------------
+
+TEST(ProactiveAckerUnit, ForgesContiguousAcksOnly) {
+  ProactiveAcker proxy;
+  Capture fwd, rev;
+  proxy.set_forward_target(&fwd);
+  proxy.set_reverse_target(&rev);
+
+  proxy.forward_sink().deliver(data_seg(1000, 0, true));  // SYN
+  proxy.forward_sink().deliver(data_seg(1001, 100));
+  ASSERT_EQ(rev.got.size(), 1u);
+  EXPECT_EQ(rev.got[0].ack, 1101u);
+  // A gap: the forged ACK must not advance.
+  proxy.forward_sink().deliver(data_seg(1301, 100));
+  ASSERT_EQ(rev.got.size(), 2u);
+  EXPECT_EQ(rev.got[1].ack, 1101u);
+  // Forged ACKs carry no MPTCP options (a middlebox speaks plain TCP).
+  for (const auto& ack : rev.got) {
+    for (const auto& o : ack.options) EXPECT_FALSE(is_mptcp_option(o));
+  }
+}
+
+TEST(ProactiveAckerUnit, CorrectsAcksBeyondObserved) {
+  ProactiveAcker proxy(ProactiveAcker::AckPolicy::kCorrectUnseen);
+  Capture fwd, rev;
+  proxy.set_forward_target(&fwd);
+  proxy.set_reverse_target(&rev);
+  proxy.forward_sink().deliver(data_seg(1000, 0, true));
+  proxy.forward_sink().deliver(data_seg(1001, 100));
+  // The real receiver acks data the proxy never saw.
+  TcpSegment ack;
+  ack.tuple = data_seg(0, 0).tuple.reversed();
+  ack.ack_flag = true;
+  ack.ack = 9999;
+  proxy.reverse_sink().deliver(ack);
+  ASSERT_GE(rev.got.size(), 2u);
+  EXPECT_EQ(rev.got.back().ack, 1101u);  // "corrected" down
+}
+
+// --- PayloadModifier / HoleDropper ------------------------------------------------------
+
+TEST(PayloadModifierUnit, FlipsBytesAtConfiguredInterval) {
+  PayloadModifier alg(2);
+  Capture out;
+  alg.set_target(&out);
+  for (int i = 0; i < 4; ++i) alg.deliver(data_seg(1000 + i * 100, 100));
+  EXPECT_EQ(alg.segments_modified(), 2u);
+  EXPECT_EQ(out.got[0].payload[50], 0xAB);         // untouched
+  EXPECT_EQ(out.got[1].payload[50], 0xAB ^ 0xA5);  // modified
+}
+
+TEST(HoleDropperUnit, DropsDataAfterGapUntilFilled) {
+  HoleDropper hd;
+  Capture out;
+  hd.set_target(&out);
+  hd.deliver(data_seg(1000, 0, true));   // SYN: expect 1001
+  hd.deliver(data_seg(1001, 100));       // ok
+  hd.deliver(data_seg(1201, 100));       // hole at 1101: dropped
+  EXPECT_EQ(hd.holes_dropped(), 1u);
+  hd.deliver(data_seg(1101, 100));       // fills the hole
+  hd.deliver(data_seg(1201, 100));       // retransmission passes now
+  ASSERT_EQ(out.got.size(), 4u);
+  EXPECT_EQ(out.got.back().seq, 1201u);
+}
+
+}  // namespace
+}  // namespace mptcp

@@ -1,0 +1,203 @@
+// Wire codec tests: every option must survive a serialize/parse round
+// trip byte-exactly, sizes must match option_wire_size, and the TCP
+// checksum must validate and detect corruption.
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "net/wire.h"
+
+namespace mptcp {
+namespace {
+
+FourTuple test_tuple() {
+  return FourTuple{{IpAddr(10, 0, 0, 1), 40000}, {IpAddr(10, 99, 0, 1), 80}};
+}
+
+class OptionRoundTrip : public ::testing::TestWithParam<TcpOption> {};
+
+TEST_P(OptionRoundTrip, SurvivesSerializeParse) {
+  const TcpOption original = GetParam();
+  const auto bytes = serialize_options({original});
+  EXPECT_EQ(bytes.size() % 4, 0u) << "options must pad to 32-bit words";
+  const auto parsed = parse_options(bytes);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], original);
+}
+
+TEST_P(OptionRoundTrip, WireSizeMatchesEncodedSize) {
+  const TcpOption opt = GetParam();
+  const auto bytes = serialize_options({opt});
+  const size_t padded = (option_wire_size(opt) + 3) & ~size_t{3};
+  EXPECT_EQ(bytes.size(), padded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptions, OptionRoundTrip,
+    ::testing::Values(
+        TcpOption{MssOption{1460}}, TcpOption{WindowScaleOption{7}},
+        TcpOption{SackPermittedOption{}},
+        TcpOption{SackOption{{{1000, 2460}, {5000, 7920}}}},
+        TcpOption{TimestampOption{123456789, 987654321}},
+        // MP_CAPABLE in its three handshake forms.
+        TcpOption{MpCapableOption{0, true, 0x0123456789abcdefULL,
+                                  std::nullopt}},
+        TcpOption{MpCapableOption{0, false, 0x1111222233334444ULL,
+                                  std::nullopt}},
+        TcpOption{MpCapableOption{0, true, 0xaaaabbbbccccddddULL,
+                                  0xeeeeffff00001111ULL}},
+        // MP_JOIN in its three phases.
+        TcpOption{MpJoinOption{JoinPhase::kSyn, 3, false, 0xdeadbeef,
+                               0xcafe1234, 0}},
+        TcpOption{MpJoinOption{JoinPhase::kSyn, 1, true, 0x01020304,
+                               0x05060708, 0}},
+        TcpOption{MpJoinOption{JoinPhase::kSynAck, 2, false, 0, 0x99887766,
+                               0x1122334455667788ULL}},
+        TcpOption{MpJoinOption{JoinPhase::kAck, 0, false, 0, 0,
+                               0xfedcba9876543210ULL}},
+        // DSS in several shapes.
+        TcpOption{DssOption{0x1000, std::nullopt, false, 0}},
+        TcpOption{DssOption{std::nullopt,
+                            DssMapping{0x12345678, 1001, 1460, 0xabcd},
+                            false, 0}},
+        TcpOption{DssOption{0x2000,
+                            DssMapping{0x1000000000ULL, 1, 11680,
+                                       std::nullopt},
+                            false, 0}},
+        TcpOption{DssOption{0x2000, DssMapping{77, 1, 1460, 0x1111}, true,
+                            0}},
+        TcpOption{DssOption{0x2000, std::nullopt, true, 0x424242}},
+        TcpOption{AddAddrOption{4, IpAddr(192, 168, 7, 9), std::nullopt}},
+        TcpOption{AddAddrOption{9, IpAddr(172, 16, 0, 1), Port{8080}}},
+        TcpOption{RemoveAddrOption{6}},
+        TcpOption{MpPrioOption{true, std::nullopt}},
+        TcpOption{MpPrioOption{false, uint8_t{5}}},
+        TcpOption{MpFastcloseOption{0x123456789abcdef0ULL}}));
+
+TEST(WireCodec, MultipleOptionsRoundTrip) {
+  std::vector<TcpOption> opts = {
+      TimestampOption{1, 2},
+      DssOption{42, DssMapping{100, 1, 500, 0x7777}, false, 0},
+      SackOption{{{10, 20}}},
+  };
+  const auto bytes = serialize_options(opts);
+  const auto parsed = parse_options(bytes);
+  ASSERT_EQ(parsed.size(), opts.size());
+  for (size_t i = 0; i < opts.size(); ++i) EXPECT_EQ(parsed[i], opts[i]);
+}
+
+TEST(WireCodec, SegmentRoundTripWithPayload) {
+  TcpSegment seg;
+  seg.tuple = test_tuple();
+  seg.seq = 0xdeadbeef;
+  seg.ack = 0x12345678;
+  seg.syn = false;
+  seg.ack_flag = true;
+  seg.psh = true;
+  seg.window = 0x7fff;
+  seg.options.push_back(TimestampOption{111, 222});
+  seg.options.push_back(
+      DssOption{55, DssMapping{1000, 1, 6, 0xbeef}, false, 0});
+  seg.payload = {'h', 'e', 'l', 'l', 'o', '!'};
+
+  const auto bytes = serialize_segment(seg);
+  const auto parsed = parse_segment(bytes, seg.tuple);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, seg.seq);
+  EXPECT_EQ(parsed->ack, seg.ack);
+  EXPECT_EQ(parsed->ack_flag, seg.ack_flag);
+  EXPECT_EQ(parsed->psh, seg.psh);
+  EXPECT_EQ(parsed->window, seg.window);
+  EXPECT_EQ(parsed->payload, seg.payload);
+  ASSERT_EQ(parsed->options.size(), 2u);
+  EXPECT_EQ(parsed->options[0], seg.options[0]);
+  EXPECT_EQ(parsed->options[1], seg.options[1]);
+}
+
+TEST(WireCodec, SerializedSegmentChecksumValidates) {
+  TcpSegment seg;
+  seg.tuple = test_tuple();
+  seg.seq = 1;
+  seg.ack_flag = true;
+  seg.payload = {1, 2, 3, 4, 5};
+  auto bytes = serialize_segment(seg);
+  // Verifying: checksum over the full segment including the stored
+  // checksum folds to 0xffff (sum + complement = all-ones).
+  ChecksumAccumulator acc;
+  acc.add_u32(seg.tuple.src.addr.value);
+  acc.add_u32(seg.tuple.dst.addr.value);
+  acc.add_word(6);
+  acc.add_word(static_cast<uint16_t>(bytes.size()));
+  acc.add_bytes(bytes);
+  EXPECT_EQ(acc.fold(), 0xffff);
+}
+
+TEST(WireCodec, ChecksumDetectsPayloadCorruption) {
+  TcpSegment seg;
+  seg.tuple = test_tuple();
+  seg.payload = {1, 2, 3, 4, 5, 6};
+  auto bytes = serialize_segment(seg);
+  bytes[bytes.size() - 2] ^= 0x40;  // corrupt payload
+  ChecksumAccumulator acc;
+  acc.add_u32(seg.tuple.src.addr.value);
+  acc.add_u32(seg.tuple.dst.addr.value);
+  acc.add_word(6);
+  acc.add_word(static_cast<uint16_t>(bytes.size()));
+  acc.add_bytes(bytes);
+  EXPECT_NE(acc.fold(), 0xffff);
+}
+
+TEST(WireCodec, ParseRejectsTruncatedHeader) {
+  std::vector<uint8_t> bytes(10, 0);
+  EXPECT_FALSE(parse_segment(bytes, test_tuple()).has_value());
+}
+
+TEST(WireCodec, ParseRejectsBogusDataOffset) {
+  TcpSegment seg;
+  seg.tuple = test_tuple();
+  auto bytes = serialize_segment(seg);
+  bytes[12] = 0xF0;  // data offset = 60 bytes > segment size
+  EXPECT_FALSE(parse_segment(bytes, seg.tuple).has_value());
+}
+
+TEST(WireCodec, UnknownOptionsAreSkippedLiberally) {
+  // kind=200, len=6 unknown option followed by a real MSS option.
+  std::vector<uint8_t> bytes = {200, 6, 1, 2, 3, 4, 2, 4, 0x05, 0xb4, 1, 1};
+  const auto parsed = parse_options(bytes);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], TcpOption{MssOption{1460}});
+}
+
+TEST(WireCodec, DataFinWithoutMappingUsesSyntheticMapping) {
+  DssOption dss;
+  dss.data_ack = 999;
+  dss.data_fin = true;
+  dss.data_fin_dsn = 0x42424242;
+  const auto bytes = serialize_options({TcpOption{dss}});
+  const auto parsed = parse_options(bytes);
+  ASSERT_EQ(parsed.size(), 1u);
+  const auto* out = std::get_if<DssOption>(&parsed[0]);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->data_fin);
+  EXPECT_FALSE(out->mapping.has_value());
+  EXPECT_EQ(out->data_fin_dsn, 0x42424242u);
+}
+
+TEST(WireCodec, OptionSpaceOfTypicalDataSegmentFits) {
+  // TS + DSS with mapping and checksum must fit the 40-byte budget.
+  std::vector<TcpOption> opts = {
+      TimestampOption{1, 2},
+      DssOption{100, DssMapping{200, 1, 1460, 0x1234}, false, 0},
+  };
+  EXPECT_LE(serialize_options(opts).size(), kMaxTcpOptionSpace);
+}
+
+TEST(WireCodec, WireSizeAccountsForOptionsAndHeaders) {
+  TcpSegment seg;
+  seg.payload.assign(1000, 0);
+  seg.options.push_back(TimestampOption{});
+  // 20 IP + 20 TCP + 12 (TS padded) + payload.
+  EXPECT_EQ(seg.wire_size(), 20u + 20u + 12u + 1000u);
+}
+
+}  // namespace
+}  // namespace mptcp
