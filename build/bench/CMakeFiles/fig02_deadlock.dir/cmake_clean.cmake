@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_deadlock.dir/fig02_deadlock.cc.o"
+  "CMakeFiles/fig02_deadlock.dir/fig02_deadlock.cc.o.d"
+  "fig02_deadlock"
+  "fig02_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

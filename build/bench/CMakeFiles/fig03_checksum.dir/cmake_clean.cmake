@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_checksum.dir/fig03_checksum.cc.o"
+  "CMakeFiles/fig03_checksum.dir/fig03_checksum.cc.o.d"
+  "fig03_checksum"
+  "fig03_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

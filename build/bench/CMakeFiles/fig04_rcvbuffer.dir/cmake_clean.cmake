@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_rcvbuffer.dir/fig04_rcvbuffer.cc.o"
+  "CMakeFiles/fig04_rcvbuffer.dir/fig04_rcvbuffer.cc.o.d"
+  "fig04_rcvbuffer"
+  "fig04_rcvbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rcvbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_scenarios.dir/fig06_scenarios.cc.o"
+  "CMakeFiles/fig06_scenarios.dir/fig06_scenarios.cc.o.d"
+  "fig06_scenarios"
+  "fig06_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_appdelay.dir/fig07_appdelay.cc.o"
+  "CMakeFiles/fig07_appdelay.dir/fig07_appdelay.cc.o.d"
+  "fig07_appdelay"
+  "fig07_appdelay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_appdelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

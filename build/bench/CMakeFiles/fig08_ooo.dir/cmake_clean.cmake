@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ooo.dir/fig08_ooo.cc.o"
+  "CMakeFiles/fig08_ooo.dir/fig08_ooo.cc.o.d"
+  "fig08_ooo"
+  "fig08_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_ooo_sim.dir/fig08b_ooo_sim.cc.o"
+  "CMakeFiles/fig08b_ooo_sim.dir/fig08b_ooo_sim.cc.o.d"
+  "fig08b_ooo_sim"
+  "fig08b_ooo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_ooo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

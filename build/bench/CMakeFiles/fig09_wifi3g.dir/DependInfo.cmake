@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_wifi3g.cc" "bench/CMakeFiles/fig09_wifi3g.dir/fig09_wifi3g.cc.o" "gcc" "bench/CMakeFiles/fig09_wifi3g.dir/fig09_wifi3g.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/mptcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mptcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/middlebox/CMakeFiles/mptcp_middlebox.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mptcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mptcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mptcp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_wifi3g.dir/fig09_wifi3g.cc.o"
+  "CMakeFiles/fig09_wifi3g.dir/fig09_wifi3g.cc.o.d"
+  "fig09_wifi3g"
+  "fig09_wifi3g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_wifi3g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

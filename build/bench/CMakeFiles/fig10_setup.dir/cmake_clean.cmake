@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_setup.dir/fig10_setup.cc.o"
+  "CMakeFiles/fig10_setup.dir/fig10_setup.cc.o.d"
+  "fig10_setup"
+  "fig10_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_http.dir/fig11_http.cc.o"
+  "CMakeFiles/fig11_http.dir/fig11_http.cc.o.d"
+  "fig11_http"
+  "fig11_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbox_matrix.dir/mbox_matrix.cc.o"
+  "CMakeFiles/mbox_matrix.dir/mbox_matrix.cc.o.d"
+  "mbox_matrix"
+  "mbox_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbox_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_http.dir/datacenter_http.cpp.o"
+  "CMakeFiles/datacenter_http.dir/datacenter_http.cpp.o.d"
+  "datacenter_http"
+  "datacenter_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlebox_gauntlet.dir/middlebox_gauntlet.cpp.o"
+  "CMakeFiles/middlebox_gauntlet.dir/middlebox_gauntlet.cpp.o.d"
+  "middlebox_gauntlet"
+  "middlebox_gauntlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlebox_gauntlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

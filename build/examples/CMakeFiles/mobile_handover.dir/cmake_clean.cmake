@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_handover.dir/mobile_handover.cpp.o"
+  "CMakeFiles/mobile_handover.dir/mobile_handover.cpp.o.d"
+  "mobile_handover"
+  "mobile_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

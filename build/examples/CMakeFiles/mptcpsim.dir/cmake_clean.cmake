@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcpsim.dir/mptcpsim.cpp.o"
+  "CMakeFiles/mptcpsim.dir/mptcpsim.cpp.o.d"
+  "mptcpsim"
+  "mptcpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

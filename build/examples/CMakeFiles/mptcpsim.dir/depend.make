@@ -1,0 +1,2 @@
+# Empty dependencies file for mptcpsim.
+# This may be replaced when dependencies are built.

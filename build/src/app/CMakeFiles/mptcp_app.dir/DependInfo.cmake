@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/bulk_app.cc" "src/app/CMakeFiles/mptcp_app.dir/bulk_app.cc.o" "gcc" "src/app/CMakeFiles/mptcp_app.dir/bulk_app.cc.o.d"
+  "/root/repo/src/app/harness.cc" "src/app/CMakeFiles/mptcp_app.dir/harness.cc.o" "gcc" "src/app/CMakeFiles/mptcp_app.dir/harness.cc.o.d"
+  "/root/repo/src/app/http_app.cc" "src/app/CMakeFiles/mptcp_app.dir/http_app.cc.o" "gcc" "src/app/CMakeFiles/mptcp_app.dir/http_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mptcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mptcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mptcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mptcp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_app.dir/bulk_app.cc.o"
+  "CMakeFiles/mptcp_app.dir/bulk_app.cc.o.d"
+  "CMakeFiles/mptcp_app.dir/harness.cc.o"
+  "CMakeFiles/mptcp_app.dir/harness.cc.o.d"
+  "CMakeFiles/mptcp_app.dir/http_app.cc.o"
+  "CMakeFiles/mptcp_app.dir/http_app.cc.o.d"
+  "libmptcp_app.a"
+  "libmptcp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

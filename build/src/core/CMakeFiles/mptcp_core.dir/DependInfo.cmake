@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coupled_cc.cc" "src/core/CMakeFiles/mptcp_core.dir/coupled_cc.cc.o" "gcc" "src/core/CMakeFiles/mptcp_core.dir/coupled_cc.cc.o.d"
+  "/root/repo/src/core/dss.cc" "src/core/CMakeFiles/mptcp_core.dir/dss.cc.o" "gcc" "src/core/CMakeFiles/mptcp_core.dir/dss.cc.o.d"
+  "/root/repo/src/core/keys.cc" "src/core/CMakeFiles/mptcp_core.dir/keys.cc.o" "gcc" "src/core/CMakeFiles/mptcp_core.dir/keys.cc.o.d"
+  "/root/repo/src/core/meta_recv.cc" "src/core/CMakeFiles/mptcp_core.dir/meta_recv.cc.o" "gcc" "src/core/CMakeFiles/mptcp_core.dir/meta_recv.cc.o.d"
+  "/root/repo/src/core/mptcp_connection.cc" "src/core/CMakeFiles/mptcp_core.dir/mptcp_connection.cc.o" "gcc" "src/core/CMakeFiles/mptcp_core.dir/mptcp_connection.cc.o.d"
+  "/root/repo/src/core/mptcp_stack.cc" "src/core/CMakeFiles/mptcp_core.dir/mptcp_stack.cc.o" "gcc" "src/core/CMakeFiles/mptcp_core.dir/mptcp_stack.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/mptcp_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/mptcp_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/subflow.cc" "src/core/CMakeFiles/mptcp_core.dir/subflow.cc.o" "gcc" "src/core/CMakeFiles/mptcp_core.dir/subflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/mptcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mptcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mptcp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_core.dir/coupled_cc.cc.o"
+  "CMakeFiles/mptcp_core.dir/coupled_cc.cc.o.d"
+  "CMakeFiles/mptcp_core.dir/dss.cc.o"
+  "CMakeFiles/mptcp_core.dir/dss.cc.o.d"
+  "CMakeFiles/mptcp_core.dir/keys.cc.o"
+  "CMakeFiles/mptcp_core.dir/keys.cc.o.d"
+  "CMakeFiles/mptcp_core.dir/meta_recv.cc.o"
+  "CMakeFiles/mptcp_core.dir/meta_recv.cc.o.d"
+  "CMakeFiles/mptcp_core.dir/mptcp_connection.cc.o"
+  "CMakeFiles/mptcp_core.dir/mptcp_connection.cc.o.d"
+  "CMakeFiles/mptcp_core.dir/mptcp_stack.cc.o"
+  "CMakeFiles/mptcp_core.dir/mptcp_stack.cc.o.d"
+  "CMakeFiles/mptcp_core.dir/scheduler.cc.o"
+  "CMakeFiles/mptcp_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/mptcp_core.dir/subflow.cc.o"
+  "CMakeFiles/mptcp_core.dir/subflow.cc.o.d"
+  "libmptcp_core.a"
+  "libmptcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

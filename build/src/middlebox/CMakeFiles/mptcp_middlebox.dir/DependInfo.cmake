@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middlebox/nat.cc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/nat.cc.o" "gcc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/nat.cc.o.d"
+  "/root/repo/src/middlebox/option_stripper.cc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/option_stripper.cc.o" "gcc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/option_stripper.cc.o.d"
+  "/root/repo/src/middlebox/payload_modifier.cc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/payload_modifier.cc.o" "gcc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/payload_modifier.cc.o.d"
+  "/root/repo/src/middlebox/proactive_acker.cc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/proactive_acker.cc.o" "gcc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/proactive_acker.cc.o.d"
+  "/root/repo/src/middlebox/segment_coalescer.cc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/segment_coalescer.cc.o" "gcc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/segment_coalescer.cc.o.d"
+  "/root/repo/src/middlebox/segment_splitter.cc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/segment_splitter.cc.o" "gcc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/segment_splitter.cc.o.d"
+  "/root/repo/src/middlebox/seq_rewriter.cc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/seq_rewriter.cc.o" "gcc" "src/middlebox/CMakeFiles/mptcp_middlebox.dir/seq_rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mptcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mptcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mptcp_tcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_middlebox.dir/nat.cc.o"
+  "CMakeFiles/mptcp_middlebox.dir/nat.cc.o.d"
+  "CMakeFiles/mptcp_middlebox.dir/option_stripper.cc.o"
+  "CMakeFiles/mptcp_middlebox.dir/option_stripper.cc.o.d"
+  "CMakeFiles/mptcp_middlebox.dir/payload_modifier.cc.o"
+  "CMakeFiles/mptcp_middlebox.dir/payload_modifier.cc.o.d"
+  "CMakeFiles/mptcp_middlebox.dir/proactive_acker.cc.o"
+  "CMakeFiles/mptcp_middlebox.dir/proactive_acker.cc.o.d"
+  "CMakeFiles/mptcp_middlebox.dir/segment_coalescer.cc.o"
+  "CMakeFiles/mptcp_middlebox.dir/segment_coalescer.cc.o.d"
+  "CMakeFiles/mptcp_middlebox.dir/segment_splitter.cc.o"
+  "CMakeFiles/mptcp_middlebox.dir/segment_splitter.cc.o.d"
+  "CMakeFiles/mptcp_middlebox.dir/seq_rewriter.cc.o"
+  "CMakeFiles/mptcp_middlebox.dir/seq_rewriter.cc.o.d"
+  "libmptcp_middlebox.a"
+  "libmptcp_middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

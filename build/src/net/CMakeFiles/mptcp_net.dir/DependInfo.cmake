@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/mptcp_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/mptcp_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/segment.cc" "src/net/CMakeFiles/mptcp_net.dir/segment.cc.o" "gcc" "src/net/CMakeFiles/mptcp_net.dir/segment.cc.o.d"
+  "/root/repo/src/net/sha1.cc" "src/net/CMakeFiles/mptcp_net.dir/sha1.cc.o" "gcc" "src/net/CMakeFiles/mptcp_net.dir/sha1.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/mptcp_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/mptcp_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_net.dir/checksum.cc.o"
+  "CMakeFiles/mptcp_net.dir/checksum.cc.o.d"
+  "CMakeFiles/mptcp_net.dir/segment.cc.o"
+  "CMakeFiles/mptcp_net.dir/segment.cc.o.d"
+  "CMakeFiles/mptcp_net.dir/sha1.cc.o"
+  "CMakeFiles/mptcp_net.dir/sha1.cc.o.d"
+  "CMakeFiles/mptcp_net.dir/wire.cc.o"
+  "CMakeFiles/mptcp_net.dir/wire.cc.o.d"
+  "libmptcp_net.a"
+  "libmptcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_sim.dir/event_loop.cc.o"
+  "CMakeFiles/mptcp_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/mptcp_sim.dir/link.cc.o"
+  "CMakeFiles/mptcp_sim.dir/link.cc.o.d"
+  "CMakeFiles/mptcp_sim.dir/network.cc.o"
+  "CMakeFiles/mptcp_sim.dir/network.cc.o.d"
+  "CMakeFiles/mptcp_sim.dir/pcap.cc.o"
+  "CMakeFiles/mptcp_sim.dir/pcap.cc.o.d"
+  "libmptcp_sim.a"
+  "libmptcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_tcp.dir/tcp_buffers.cc.o"
+  "CMakeFiles/mptcp_tcp.dir/tcp_buffers.cc.o.d"
+  "CMakeFiles/mptcp_tcp.dir/tcp_connection.cc.o"
+  "CMakeFiles/mptcp_tcp.dir/tcp_connection.cc.o.d"
+  "libmptcp_tcp.a"
+  "libmptcp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmptcp_tcp.a"
+)

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_api_contract.cc" "tests/CMakeFiles/mptcp_tests.dir/test_api_contract.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_api_contract.cc.o.d"
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/mptcp_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_apps_robustness.cc" "tests/CMakeFiles/mptcp_tests.dir/test_apps_robustness.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_apps_robustness.cc.o.d"
+  "/root/repo/tests/test_buffers.cc" "tests/CMakeFiles/mptcp_tests.dir/test_buffers.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_buffers.cc.o.d"
+  "/root/repo/tests/test_cc.cc" "tests/CMakeFiles/mptcp_tests.dir/test_cc.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_cc.cc.o.d"
+  "/root/repo/tests/test_codec_fuzz.cc" "tests/CMakeFiles/mptcp_tests.dir/test_codec_fuzz.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_codec_fuzz.cc.o.d"
+  "/root/repo/tests/test_combined_stress.cc" "tests/CMakeFiles/mptcp_tests.dir/test_combined_stress.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_combined_stress.cc.o.d"
+  "/root/repo/tests/test_crypto.cc" "tests/CMakeFiles/mptcp_tests.dir/test_crypto.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_crypto.cc.o.d"
+  "/root/repo/tests/test_dss.cc" "tests/CMakeFiles/mptcp_tests.dir/test_dss.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_dss.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/mptcp_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/mptcp_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_mechanisms.cc" "tests/CMakeFiles/mptcp_tests.dir/test_mechanisms.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_mechanisms.cc.o.d"
+  "/root/repo/tests/test_meta_recv.cc" "tests/CMakeFiles/mptcp_tests.dir/test_meta_recv.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_meta_recv.cc.o.d"
+  "/root/repo/tests/test_middlebox.cc" "tests/CMakeFiles/mptcp_tests.dir/test_middlebox.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_middlebox.cc.o.d"
+  "/root/repo/tests/test_middlebox_units.cc" "tests/CMakeFiles/mptcp_tests.dir/test_middlebox_units.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_middlebox_units.cc.o.d"
+  "/root/repo/tests/test_mptcp_basic.cc" "tests/CMakeFiles/mptcp_tests.dir/test_mptcp_basic.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_mptcp_basic.cc.o.d"
+  "/root/repo/tests/test_mptcp_more.cc" "tests/CMakeFiles/mptcp_tests.dir/test_mptcp_more.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_mptcp_more.cc.o.d"
+  "/root/repo/tests/test_mptcp_protocol.cc" "tests/CMakeFiles/mptcp_tests.dir/test_mptcp_protocol.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_mptcp_protocol.cc.o.d"
+  "/root/repo/tests/test_pcap.cc" "tests/CMakeFiles/mptcp_tests.dir/test_pcap.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_pcap.cc.o.d"
+  "/root/repo/tests/test_property_sweeps.cc" "tests/CMakeFiles/mptcp_tests.dir/test_property_sweeps.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_property_sweeps.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/mptcp_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_syn_fallback.cc" "tests/CMakeFiles/mptcp_tests.dir/test_syn_fallback.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_syn_fallback.cc.o.d"
+  "/root/repo/tests/test_tcp_basic.cc" "tests/CMakeFiles/mptcp_tests.dir/test_tcp_basic.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_tcp_basic.cc.o.d"
+  "/root/repo/tests/test_tcp_invariants.cc" "tests/CMakeFiles/mptcp_tests.dir/test_tcp_invariants.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_tcp_invariants.cc.o.d"
+  "/root/repo/tests/test_tcp_states.cc" "tests/CMakeFiles/mptcp_tests.dir/test_tcp_states.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_tcp_states.cc.o.d"
+  "/root/repo/tests/test_wire.cc" "tests/CMakeFiles/mptcp_tests.dir/test_wire.cc.o" "gcc" "tests/CMakeFiles/mptcp_tests.dir/test_wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/mptcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mptcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/middlebox/CMakeFiles/mptcp_middlebox.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mptcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mptcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mptcp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
