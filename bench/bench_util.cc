@@ -154,6 +154,20 @@ RunResult run_tcp(const RunConfig& cfg, size_t path_index) {
   return out;
 }
 
+bool write_json(const std::string& path,
+                const std::vector<std::pair<std::string, double>>& fields) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < fields.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6g%s\n", fields[i].first.c_str(),
+                 fields[i].second, i + 1 < fields.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 void print_header(const std::string& xlabel,
                   const std::vector<std::string>& series) {
   std::printf("%-14s", xlabel.c_str());

@@ -311,12 +311,10 @@ void MptcpConnection::fallback_to_tcp(const char* reason) {
   // happens on the first packets, before any join could carry data) and
   // will be delivered as the plain subflow stream.
   if (!subflows_.empty() && meta_snd_.end_seq() > snd_nxt_d_) {
-    std::vector<uint8_t> pending;
-    meta_snd_.copy_out(snd_nxt_d_,
-                       static_cast<size_t>(meta_snd_.end_seq() - snd_nxt_d_),
-                       pending);
+    Payload pending = meta_snd_.slice_out(
+        snd_nxt_d_, static_cast<size_t>(meta_snd_.end_seq() - snd_nxt_d_));
     meta_snd_.free_through(meta_snd_.end_seq());
-    subflows_[0]->write(pending);
+    subflows_[0]->write_shared(std::move(pending));
   } else {
     meta_snd_.free_through(meta_snd_.end_seq());
   }
@@ -714,8 +712,7 @@ void MptcpConnection::schedule() {
         const uint64_t n = std::min<uint64_t>(
             {batch_bytes, limit - ptr, sf->cwnd_space()});
         if (n == 0) break;
-        std::vector<uint8_t> bytes;
-        meta_snd_.copy_out(ptr, static_cast<size_t>(n), bytes);
+        Payload bytes = meta_snd_.slice_out(ptr, static_cast<size_t>(n));
         if (ptr + n > snd_nxt_d_) {
           // First coverage of this range: record the allocation.
           alloc_[snd_nxt_d_] = Alloc{ptr + n - snd_nxt_d_, sf->id()};
@@ -757,8 +754,7 @@ void MptcpConnection::schedule() {
         reinject_.push_front({begin, end - begin});
         break;
       }
-      std::vector<uint8_t> bytes;
-      meta_snd_.copy_out(begin, static_cast<size_t>(n), bytes);
+      Payload bytes = meta_snd_.slice_out(begin, static_cast<size_t>(n));
       meta_stats_.reinjected_bytes += n;
       sf->push_mapped(begin, std::move(bytes));
       sf->try_send();
@@ -784,8 +780,7 @@ void MptcpConnection::schedule() {
         {batch_bytes, avail, window_room, sf->cwnd_space()});
     if (n == 0) break;
 
-    std::vector<uint8_t> bytes;
-    meta_snd_.copy_out(snd_nxt_d_, static_cast<size_t>(n), bytes);
+    Payload bytes = meta_snd_.slice_out(snd_nxt_d_, static_cast<size_t>(n));
     alloc_[snd_nxt_d_] = Alloc{n, sf->id()};
     sf->push_mapped(snd_nxt_d_, std::move(bytes));
     snd_nxt_d_ += n;
@@ -840,8 +835,7 @@ void MptcpConnection::window_blocked(MptcpSubflow* fast) {
       }
       if (it->second.subflow_id == fast->id()) break;  // fast path's own
       const uint64_t n = std::min(e - b, budget);
-      std::vector<uint8_t> bytes;
-      meta_snd_.copy_out(b, static_cast<size_t>(n), bytes);
+      Payload bytes = meta_snd_.slice_out(b, static_cast<size_t>(n));
       fast->push_mapped(b, std::move(bytes));
       meta_stats_.reinjected_bytes += n;
       budget -= n;

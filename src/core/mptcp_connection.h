@@ -195,8 +195,10 @@ class MptcpConnection final : public StreamSocket {
   uint64_t idsn_local_ = 0, idsn_remote_ = 0;
   bool token_registered_ = false;
 
-  std::vector<std::unique_ptr<MptcpSubflow>> subflows_;
+  // The group must outlive the subflows: each subflow's LiaCc deregisters
+  // from it on destruction (members destruct in reverse declaration order).
   CoupledGroup cc_group_;
+  std::vector<std::unique_ptr<MptcpSubflow>> subflows_;
   size_t next_subflow_id_ = 0;
   Endpoint pending_local_;   ///< endpoints for the initial subflow
   Endpoint pending_remote_;

@@ -28,19 +28,25 @@ MptcpSubflow::~MptcpSubflow() = default;
 // Meta-facing sending interface.
 // ---------------------------------------------------------------------------
 
-void MptcpSubflow::push_mapped(uint64_t dsn, std::vector<uint8_t> bytes) {
+void MptcpSubflow::push_mapped(uint64_t dsn, Payload bytes) {
   MappingRecord rec;
   rec.ssn_begin = snd_buf_end();
   rec.ssn_rel = static_cast<uint32_t>(rec.ssn_begin - iss());
   rec.dsn = dsn;
   rec.length = static_cast<uint32_t>(bytes.size());
   if (meta_.dss_checksum_enabled()) {
-    rec.checksum = dss_checksum(rec.dsn, rec.ssn_rel,
-                                static_cast<uint16_t>(rec.length), bytes);
+    // The payload sum is computed once per buffer and cached; the TCP wire
+    // checksum reuses it when these bytes are segmented (section 3.3.6).
+    rec.checksum =
+        dss_checksum_from_partial(rec.dsn, rec.ssn_rel,
+                                  static_cast<uint16_t>(rec.length),
+                                  bytes.folded_sum());
   }
   tx_mappings_.add(rec);
-  [[maybe_unused]] const size_t accepted = TcpConnection::write(bytes);
-  assert(accepted == bytes.size() &&
+  [[maybe_unused]] const size_t expected = bytes.size();
+  [[maybe_unused]] const size_t accepted =
+      TcpConnection::write_shared(std::move(bytes));
+  assert(accepted == expected &&
          "subflow send buffers are sized by the meta level");
 }
 
@@ -318,13 +324,14 @@ void MptcpSubflow::handle_dss(const DssOption& dss, const TcpSegment& seg) {
 // Data path.
 // ---------------------------------------------------------------------------
 
-void MptcpSubflow::deliver_data(uint64_t seq, std::vector<uint8_t> bytes) {
+void MptcpSubflow::deliver_data(uint64_t seq, Payload bytes) {
   if (meta_.mode() == MptcpMode::kFallbackTcp) {
-    meta_.sf_fallback_data(std::move(bytes));
+    meta_.sf_fallback_data(std::vector<uint8_t>(bytes.begin(), bytes.end()));
     return;
   }
   const uint64_t end = seq + bytes.size();
-  auto out = rx_mappings_.feed(seq, bytes, meta_.dss_checksum_enabled());
+  auto out =
+      rx_mappings_.feed(seq, bytes.span(), meta_.dss_checksum_enabled());
   for (auto& [dsn, data] : out.deliver) {
     meta_.sf_mapped_data(this, dsn, std::move(data));
   }

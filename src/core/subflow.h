@@ -54,9 +54,10 @@ class MptcpSubflow final : public TcpConnection {
 
   // --- meta-side sending interface -----------------------------------------
   /// Queues `bytes` mapped at data sequence `dsn` for transmission on this
-  /// subflow. Creates the mapping record (and DSS checksum) and hands the
-  /// bytes to the TCP send path.
-  void push_mapped(uint64_t dsn, std::vector<uint8_t> bytes);
+  /// subflow. Creates the mapping record (and DSS checksum, reusing the
+  /// payload's cached folded sum) and hands the shared bytes to the TCP
+  /// send path without copying.
+  void push_mapped(uint64_t dsn, Payload bytes);
 
   /// Bytes queued but not yet put on the wire.
   uint64_t unsent_bytes() const { return snd_buf_end() - snd_nxt(); }
@@ -110,7 +111,7 @@ class MptcpSubflow final : public TcpConnection {
                              uint64_t payload_seq, size_t payload_len) override;
   void process_incoming_options(const TcpSegment& seg) override;
   void on_established() override;
-  void deliver_data(uint64_t seq, std::vector<uint8_t> bytes) override;
+  void deliver_data(uint64_t seq, Payload bytes) override;
   void on_bytes_acked(uint64_t new_snd_una) override;
   void on_peer_fin() override;
   void on_connection_closed(bool reset) override;

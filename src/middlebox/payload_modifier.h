@@ -30,7 +30,9 @@ class PayloadModifier final : public SimpleMiddlebox {
   void process(TcpSegment seg) override {
     if (!seg.payload.empty() && ++data_count_ % interval_ == 0) {
       // Flip bits mid-payload, as an ALG replacing an address would.
-      seg.payload[seg.payload.size() / 2] ^= 0xA5;
+      // mutable_data() copies-on-write: the sender's retransmit buffer
+      // shares these bytes and must keep the original content.
+      seg.payload.mutable_data()[seg.payload.size() / 2] ^= 0xA5;
       ++modified_;
     }
     emit(std::move(seg));

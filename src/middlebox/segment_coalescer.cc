@@ -27,8 +27,7 @@ void SegmentCoalescer::process(TcpSegment seg) {
     if (seg.seq == expected && h.merged < max_merge_) {
       // Merge: payload concatenated, the *first* segment's options kept
       // (there is no room for a second DSS mapping).
-      h.seg.payload.insert(h.seg.payload.end(), seg.payload.begin(),
-                           seg.payload.end());
+      h.seg.payload.append(seg.payload);
       h.seg.ack = seg.ack;  // most recent cumulative ack
       h.merged += 1;
       ++coalesced_;

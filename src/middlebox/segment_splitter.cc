@@ -14,8 +14,7 @@ void SegmentSplitter::process(TcpSegment seg) {
     const size_t n = std::min(mtu_, seg.payload.size() - offset);
     TcpSegment part = seg;  // copies flags and *all options*, like TSO
     part.seq = seg.seq + static_cast<uint32_t>(offset);
-    part.payload.assign(seg.payload.begin() + offset,
-                        seg.payload.begin() + offset + n);
+    part.payload = seg.payload.subview(offset, n);  // zero-copy, like TSO
     part.fin = fin && offset + n == seg.payload.size();
     offset += n;
     emit(std::move(part));

@@ -1,0 +1,114 @@
+#include "net/payload.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+#include "net/checksum.h"
+
+namespace mptcp {
+
+Payload::Buf* Payload::alloc_buf(size_t n) {
+  Buf* b = static_cast<Buf*>(::operator new(sizeof(Buf) + n));
+  b->refs = 1;
+  return b;
+}
+
+void Payload::assign(size_t n, uint8_t value) {
+  release();
+  sum_valid_ = false;
+  off_ = 0;
+  len_ = n;
+  if (n == 0) {
+    buf_ = nullptr;
+    return;
+  }
+  buf_ = alloc_buf(n);
+  std::memset(buf_->bytes(), value, n);
+}
+
+void Payload::assign(std::span<const uint8_t> bytes) {
+  // The source may alias our own buffer (e.g. assign from a subspan of
+  // span()); build the new buffer before releasing the old one.
+  Buf* fresh = nullptr;
+  if (!bytes.empty()) {
+    fresh = alloc_buf(bytes.size());
+    std::memcpy(fresh->bytes(), bytes.data(), bytes.size());
+  }
+  release();
+  buf_ = fresh;
+  off_ = 0;
+  len_ = bytes.size();
+  sum_valid_ = false;
+}
+
+Payload Payload::subview(size_t off, size_t n) const {
+  assert(off <= len_ && n <= len_ - off && "subview out of range");
+  Payload out;
+  if (n == 0 || buf_ == nullptr) return out;
+  out.buf_ = buf_;
+  ++buf_->refs;
+  out.off_ = off_ + off;
+  out.len_ = n;
+  if (off == 0 && n == len_) {
+    out.sum_ = sum_;
+    out.sum_valid_ = sum_valid_;
+  }
+  return out;
+}
+
+void Payload::remove_prefix(size_t n) {
+  assert(n <= len_ && "remove_prefix out of range");
+  off_ += n;
+  len_ -= n;
+  sum_valid_ = false;
+  if (len_ == 0) clear();
+}
+
+void Payload::truncate(size_t n) {
+  if (n >= len_) return;
+  len_ = n;
+  sum_valid_ = false;
+  if (len_ == 0) clear();
+}
+
+void Payload::append(std::span<const uint8_t> more) {
+  if (more.empty()) return;
+  Buf* merged = alloc_buf(len_ + more.size());
+  if (len_ != 0) std::memcpy(merged->bytes(), data(), len_);
+  std::memcpy(merged->bytes() + len_, more.data(), more.size());
+  release();
+  buf_ = merged;
+  off_ = 0;
+  len_ += more.size();
+  sum_valid_ = false;
+}
+
+uint8_t* Payload::mutable_data() {
+  if (buf_ == nullptr) return nullptr;
+  if (buf_->refs != 1) {
+    Buf* own = alloc_buf(len_);
+    std::memcpy(own->bytes(), data(), len_);
+    release();
+    buf_ = own;
+    off_ = 0;
+  }
+  sum_valid_ = false;
+  return buf_->bytes() + off_;
+}
+
+uint16_t Payload::folded_sum() const {
+  if (!sum_valid_) {
+    sum_ = ones_complement_sum(span());
+    sum_valid_ = true;
+  }
+  return sum_;
+}
+
+bool Payload::operator==(const Payload& o) const {
+  if (len_ != o.len_) return false;
+  if (buf_ == o.buf_ && off_ == o.off_) return true;
+  return len_ == 0 || std::memcmp(data(), o.data(), len_) == 0;
+}
+
+}  // namespace mptcp

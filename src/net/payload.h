@@ -1,0 +1,169 @@
+// Shared immutable segment payloads.
+//
+// A Payload is a refcounted view (offset + length) into an immutable byte
+// buffer. Copying a Payload bumps a refcount; subview() carves a slice
+// without touching the bytes. This is what lets the simulator forward,
+// queue, retransmit and TSO-split segments without copying payload bytes:
+// the sender's buffer chunk, every in-flight copy of the segment, and the
+// receiver's reassembly queue all reference the same allocation.
+//
+// Sharing rules:
+//   - The underlying buffer is immutable. Anything that wants to *modify*
+//     payload bytes (a payload-rewriting middlebox, say) must go through
+//     mutable_data(), which unshares the view (copy-on-write) before
+//     returning a writable pointer.
+//   - The refcount is NOT atomic: the simulator is single-threaded by
+//     design and payloads must not cross threads.
+//
+// Each view caches the folded RFC 1071 ones-complement sum of its bytes.
+// That makes the paper's shared-checksum trick (section 3.3.6) structural:
+// the TCP wire checksum and the DSS checksum both fold the same cached
+// payload sum into their pseudo-headers instead of re-reading the bytes.
+// mutable_data() invalidates the cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace mptcp {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Copies `bytes` into a fresh buffer (creation-time copy; all further
+  /// sharing is free).
+  explicit Payload(std::span<const uint8_t> bytes) { assign(bytes); }
+  explicit Payload(const std::vector<uint8_t>& bytes) {
+    assign(std::span<const uint8_t>(bytes));
+  }
+  Payload(std::initializer_list<uint8_t> bytes) {
+    assign(std::span<const uint8_t>(bytes.begin(), bytes.size()));
+  }
+
+  Payload(const Payload& o)
+      : buf_(o.buf_), off_(o.off_), len_(o.len_), sum_(o.sum_),
+        sum_valid_(o.sum_valid_) {
+    if (buf_ != nullptr) ++buf_->refs;
+  }
+  Payload(Payload&& o) noexcept
+      : buf_(o.buf_), off_(o.off_), len_(o.len_), sum_(o.sum_),
+        sum_valid_(o.sum_valid_) {
+    o.buf_ = nullptr;
+    o.off_ = o.len_ = 0;
+    o.sum_valid_ = false;
+  }
+  Payload& operator=(const Payload& o) {
+    if (this != &o) {
+      if (o.buf_ != nullptr) ++o.buf_->refs;
+      release();
+      buf_ = o.buf_;
+      off_ = o.off_;
+      len_ = o.len_;
+      sum_ = o.sum_;
+      sum_valid_ = o.sum_valid_;
+    }
+    return *this;
+  }
+  Payload& operator=(Payload&& o) noexcept {
+    if (this != &o) {
+      release();
+      buf_ = o.buf_;
+      off_ = o.off_;
+      len_ = o.len_;
+      sum_ = o.sum_;
+      sum_valid_ = o.sum_valid_;
+      o.buf_ = nullptr;
+      o.off_ = o.len_ = 0;
+      o.sum_valid_ = false;
+    }
+    return *this;
+  }
+  Payload& operator=(std::initializer_list<uint8_t> bytes) {
+    assign(std::span<const uint8_t>(bytes.begin(), bytes.size()));
+    return *this;
+  }
+  ~Payload() { release(); }
+
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  const uint8_t* data() const {
+    return buf_ != nullptr ? buf_->bytes() + off_ : nullptr;
+  }
+  std::span<const uint8_t> span() const { return {data(), len_}; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + len_; }
+
+  /// Replaces the contents with `n` copies of `value`.
+  void assign(size_t n, uint8_t value);
+  /// Replaces the contents with a copy of `bytes`.
+  void assign(std::span<const uint8_t> bytes);
+  void clear() {
+    release();
+    buf_ = nullptr;
+    off_ = len_ = 0;
+    sum_valid_ = false;
+  }
+
+  /// Zero-copy slice [off, off+n) sharing this view's buffer.
+  Payload subview(size_t off, size_t n) const;
+  /// Drops the first `n` bytes of the view (zero-copy).
+  void remove_prefix(size_t n);
+  /// Keeps only the first `n` bytes of the view (zero-copy).
+  void truncate(size_t n);
+
+  /// Appends bytes, materializing a fresh buffer (the old one may be
+  /// shared). Used by coalescing middleboxes; not a hot path.
+  void append(std::span<const uint8_t> more);
+  void append(const Payload& more) { append(more.span()); }
+
+  /// Copy-on-write: returns a writable pointer to this view's bytes,
+  /// copying them into a private buffer first if the buffer is shared.
+  /// Invalidates the cached checksum.
+  uint8_t* mutable_data();
+
+  /// Folded (non-inverted) RFC 1071 ones-complement sum of the view's
+  /// bytes, computed on first use and cached. Shared between the TCP wire
+  /// checksum and the DSS checksum via ChecksumAccumulator::add_partial().
+  uint16_t folded_sum() const;
+
+  // --- introspection (tests, memory accounting) ---------------------------
+  bool sum_cached() const { return sum_valid_; }
+  bool shares_buffer_with(const Payload& o) const {
+    return buf_ != nullptr && buf_ == o.buf_;
+  }
+  uint32_t buffer_refs() const { return buf_ != nullptr ? buf_->refs : 0; }
+
+  bool operator==(const Payload& o) const;
+  bool operator!=(const Payload& o) const { return !(*this == o); }
+
+ private:
+  /// Refcounted header immediately followed by the bytes themselves
+  /// (single allocation). Non-atomic: single-threaded simulator.
+  struct Buf {
+    uint32_t refs;
+    uint8_t* bytes() { return reinterpret_cast<uint8_t*>(this + 1); }
+    const uint8_t* bytes() const {
+      return reinterpret_cast<const uint8_t*>(this + 1);
+    }
+  };
+
+  static Buf* alloc_buf(size_t n);
+  void release() {
+    if (buf_ != nullptr && --buf_->refs == 0) {
+      ::operator delete(static_cast<void*>(buf_));
+    }
+  }
+
+  Buf* buf_ = nullptr;
+  size_t off_ = 0;
+  size_t len_ = 0;
+  mutable uint16_t sum_ = 0;
+  mutable bool sum_valid_ = false;
+};
+
+}  // namespace mptcp

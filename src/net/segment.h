@@ -3,7 +3,11 @@
 // Segments are plain values: middleboxes copy, split, coalesce and rewrite
 // them, links account their wire size, and endpoints parse their options.
 // The payload carries real bytes so that payload-modifying middleboxes and
-// end-to-end integrity checks are meaningful.
+// end-to-end integrity checks are meaningful -- but the bytes live in a
+// shared refcounted buffer (net/payload.h), so copying, splitting and
+// queueing segments shares them instead of duplicating them. Middleboxes
+// that rewrite payload bytes must use Payload::mutable_data() (explicit
+// copy-on-write).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +16,7 @@
 
 #include "net/ip.h"
 #include "net/options.h"
+#include "net/payload.h"
 
 namespace mptcp {
 
@@ -33,7 +38,7 @@ struct TcpSegment {
   bool psh = false;
 
   std::vector<TcpOption> options;
-  std::vector<uint8_t> payload;
+  Payload payload;
 
   /// Wire checksum over the TCP pseudo-header + header + payload. Filled
   /// by the wire codec / checksum helpers; middleboxes that modify a

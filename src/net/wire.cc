@@ -455,7 +455,20 @@ std::vector<uint8_t> serialize_segment(const TcpSegment& seg) {
   out.insert(out.end(), opt_bytes.begin(), opt_bytes.end());
   out.insert(out.end(), seg.payload.begin(), seg.payload.end());
 
-  const uint16_t csum = tcp_checksum(out, seg.tuple);
+  // The paper's shared-checksum trick (section 3.3.6), made structural:
+  // the payload's ones-complement sum is cached in the Payload and folded
+  // in via add_partial() -- the same cached sum the DSS checksum uses --
+  // so the payload bytes are only ever summed once. The header always ends
+  // on a 4-byte boundary, so word alignment is preserved and the result is
+  // bit-identical to summing the whole frame.
+  ChecksumAccumulator acc;
+  acc.add_u32(seg.tuple.src.addr.value);
+  acc.add_u32(seg.tuple.dst.addr.value);
+  acc.add_word(6);  // protocol TCP
+  acc.add_word(static_cast<uint16_t>(out.size()));
+  acc.add_bytes(std::span<const uint8_t>(out.data(), header_len));
+  acc.add_partial(seg.payload.folded_sum());
+  const uint16_t csum = acc.finish();
   out[16] = static_cast<uint8_t>(csum >> 8);
   out[17] = static_cast<uint8_t>(csum);
   return out;
@@ -487,7 +500,7 @@ std::optional<TcpSegment> parse_segment(std::span<const uint8_t> bytes,
   }
   seg.options =
       parse_options(bytes.subspan(kTcpHeaderSize, header_len - kTcpHeaderSize));
-  seg.payload.assign(bytes.begin() + header_len, bytes.end());
+  seg.payload.assign(bytes.subspan(header_len));
   return seg;
 }
 

@@ -4,37 +4,114 @@
 
 namespace mptcp {
 
+uint32_t EventLoop::alloc_slot() {
+  if (free_head_ != kNilSlot) {
+    const uint32_t s = free_head_;
+    free_head_ = slots_[s].next_free;
+    slots_[s].next_free = kNilSlot;
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::free_slot(uint32_t s) {
+  Slot& sl = slots_[s];
+  sl.cb = nullptr;  // release captured state now, not at compaction time
+  if (++sl.gen == 0) sl.gen = 1;  // generation 0 stays invalid forever
+  sl.next_free = free_head_;
+  free_head_ = s;
+}
+
+void EventLoop::sift_up(size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventLoop::sift_down(size_t i) {
+  const size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  for (;;) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+void EventLoop::pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventLoop::drop_dead_tops() {
+  while (!heap_.empty() && !entry_live(heap_.front())) pop_top();
+}
+
+void EventLoop::maybe_compact() {
+  // Compact when cancelled entries outnumber live ones 3:1. The threshold
+  // of 64 avoids churn on tiny heaps; the 4x factor amortizes the O(n)
+  // sweep over at least ~n/2 cancellations, keeping scheduling O(log n)
+  // amortized while bounding memory at O(live).
+  if (heap_.size() < 64 || heap_.size() < 4 * live_) return;
+  size_t kept = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (entry_live(heap_[i])) heap_[kept++] = heap_[i];
+  }
+  heap_.resize(kept);
+  // Floyd heap construction; ordering among survivors is fully determined
+  // by the (t, seq) key, so compaction cannot perturb event order.
+  for (size_t i = kept / 2; i-- > 0;) sift_down(i);
+}
+
 EventLoop::EventId EventLoop::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  queue_.push(QueueEntry{t, id});
-  pending_.emplace(id, std::move(cb));
-  return id;
+  const uint32_t s = alloc_slot();
+  slots_[s].cb = std::move(cb);
+  heap_.push_back(HeapEntry{t, next_seq_++, s, slots_[s].gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return (static_cast<EventId>(slots_[s].gen) << 32) | s;
+}
+
+void EventLoop::cancel(EventId id) {
+  const uint32_t s = static_cast<uint32_t>(id);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (gen == 0 || s >= slots_.size() || slots_[s].gen != gen) return;
+  free_slot(s);
+  --live_;
+  maybe_compact();
 }
 
 bool EventLoop::run_one() {
-  while (!queue_.empty()) {
-    const QueueEntry e = queue_.top();
-    queue_.pop();
-    auto it = pending_.find(e.id);
-    if (it == pending_.end()) continue;  // cancelled
-    Callback cb = std::move(it->second);
-    pending_.erase(it);
+  for (;;) {
+    if (heap_.empty()) return false;
+    const HeapEntry e = heap_.front();
+    pop_top();
+    if (!entry_live(e)) continue;  // lazily-cancelled
+    Callback cb = std::move(slots_[e.slot].cb);
+    free_slot(e.slot);
+    --live_;
     now_ = e.t;
     cb();
     return true;
   }
-  return false;
 }
 
 void EventLoop::run_until(SimTime t) {
-  while (!queue_.empty()) {
-    const QueueEntry e = queue_.top();
-    if (pending_.find(e.id) == pending_.end()) {
-      queue_.pop();
-      continue;
-    }
-    if (e.t > t) break;
+  for (;;) {
+    drop_dead_tops();
+    if (heap_.empty() || heap_.front().t > t) break;
     run_one();
   }
   if (now_ < t) now_ = t;

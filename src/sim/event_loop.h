@@ -3,12 +3,20 @@
 // Single-threaded, deterministic: events at equal times fire in schedule
 // order. Time is a 64-bit count of nanoseconds, which gives ~292 years of
 // range -- enough for any experiment while keeping arithmetic exact.
+//
+// The scheduler is built for the hot path: a slot table holds callbacks
+// and is recycled through a free list (steady-state scheduling allocates
+// nothing once the high-water mark is reached), a binary min-heap of
+// 24-byte entries orders (time, schedule-seq) pairs, and cancellation is
+// O(1) and lazy -- it bumps the slot's generation counter so the stale
+// heap entry is discarded when it surfaces. When stale entries dominate
+// the heap (timer-heavy workloads re-arm constantly), the heap is
+// compacted in place so it stays proportional to the number of *live*
+// events instead of growing without bound.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 namespace mptcp {
@@ -28,6 +36,9 @@ inline double to_seconds(SimTime t) {
 class EventLoop {
  public:
   using Callback = std::function<void()>;
+  /// Packed handle: high 32 bits are the slot's generation at schedule
+  /// time, low 32 bits the slot index. Generation 0 never occurs, so a
+  /// default-constructed id (0) is always invalid.
   using EventId = uint64_t;
 
   SimTime now() const { return now_; }
@@ -40,12 +51,19 @@ class EventLoop {
     return schedule_at(now_ + dt, std::move(cb));
   }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown id is
-  /// a harmless no-op.
-  void cancel(EventId id) { pending_.erase(id); }
+  /// Cancels a pending event in O(1). Cancelling an already-fired or
+  /// unknown id is a harmless no-op. The callback (and anything it
+  /// captured) is destroyed immediately; only the 24-byte heap entry
+  /// lingers until it surfaces or compaction sweeps it.
+  void cancel(EventId id);
 
-  bool has_pending() const { return !pending_.empty(); }
-  size_t pending_count() const { return pending_.size(); }
+  bool has_pending() const { return live_ != 0; }
+  /// Number of live (scheduled, not cancelled, not fired) events.
+  size_t pending_count() const { return live_; }
+  /// Heap entries currently held, including lazily-cancelled ones. Kept
+  /// within a constant factor of pending_count() by compaction; exposed
+  /// for tests and diagnostics.
+  size_t heap_size() const { return heap_.size(); }
 
   /// Runs the earliest pending event; returns false if none remain.
   bool run_one();
@@ -57,21 +75,45 @@ class EventLoop {
   void run();
 
  private:
-  struct QueueEntry {
-    SimTime t;
-    EventId id;
-    bool operator>(const QueueEntry& o) const {
-      if (t != o.t) return t > o.t;
-      return id > o.id;  // FIFO among same-time events
-    }
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+
+  struct Slot {
+    Callback cb;
+    uint32_t gen = 1;             ///< bumped on fire/cancel; 0 is invalid
+    uint32_t next_free = kNilSlot;
   };
 
+  struct HeapEntry {
+    SimTime t;
+    uint64_t seq;  ///< global schedule order; FIFO among equal times
+    uint32_t slot;
+    uint32_t gen;
+  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.t < b.t || (a.t == b.t && a.seq < b.seq);
+  }
+  bool entry_live(const HeapEntry& e) const {
+    return slots_[e.slot].gen == e.gen;
+  }
+
+  uint32_t alloc_slot();
+  void free_slot(uint32_t s);
+  void sift_up(size_t i);
+  void sift_down(size_t i);
+  /// Removes the top heap entry (does not touch the slot table).
+  void pop_top();
+  /// Discards cancelled entries sitting on top of the heap.
+  void drop_dead_tops();
+  /// Sweeps cancelled entries and re-heapifies when they dominate.
+  void maybe_compact();
+
   SimTime now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue_;
-  std::unordered_map<EventId, Callback> pending_;
+  uint64_t next_seq_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  uint32_t free_head_ = kNilSlot;
+  size_t live_ = 0;
 };
 
 /// A re-armable one-shot timer bound to an EventLoop.

@@ -54,13 +54,16 @@ void Link::finish_transmission() {
   } else if (target_ != nullptr) {
     ++stats_.delivered_pkts;
     stats_.delivered_bytes += seg.wire_size();
-    PacketSink* target = target_;
-    loop_.schedule_in(config_.prop_delay,
-                      [target, s = std::move(seg)]() mutable {
-                        target->deliver(std::move(s));
-                      });
+    in_flight_.push_back(InFlight{target_, std::move(seg)});
+    loop_.schedule_in(config_.prop_delay, [this] { deliver_in_flight(); });
   }
   start_transmission();
+}
+
+void Link::deliver_in_flight() {
+  InFlight f = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  f.target->deliver(std::move(f.seg));
 }
 
 }  // namespace mptcp

@@ -65,6 +65,7 @@ class Link : public PacketSink {
  private:
   void start_transmission();
   void finish_transmission();
+  void deliver_in_flight();
 
   EventLoop& loop_;
   LinkConfig config_;
@@ -77,6 +78,17 @@ class Link : public PacketSink {
   bool transmitting_ = false;
   bool up_ = true;
   Stats stats_;
+
+  /// Segments that finished serialization and are propagating. Propagation
+  /// delay is constant and departures are serialized, so arrivals are FIFO:
+  /// each propagation event pops the front. Keeping segments here (instead
+  /// of inside per-event closures) keeps event callbacks small enough for
+  /// std::function's inline storage -- no allocation per packet.
+  struct InFlight {
+    PacketSink* target;  ///< captured at departure, like the old closure
+    TcpSegment seg;
+  };
+  std::deque<InFlight> in_flight_;
 };
 
 }  // namespace mptcp

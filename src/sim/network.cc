@@ -66,8 +66,14 @@ void Host::deliver(TcpSegment seg) {
   const SimTime start = std::max(loop_.now(), cpu_free_at_);
   cpu_free_at_ = start + cost;
   cpu_busy_total_ += cost;
-  loop_.schedule_at(cpu_free_at_,
-                    [this, s = std::move(seg)] { process(s); });
+  cpu_pending_.push_back(std::move(seg));
+  loop_.schedule_at(cpu_free_at_, [this] { process_queued(); });
+}
+
+void Host::process_queued() {
+  TcpSegment seg = std::move(cpu_pending_.front());
+  cpu_pending_.pop_front();
+  process(seg);
 }
 
 void Host::process(const TcpSegment& seg) {

@@ -15,6 +15,7 @@
 // extra cycles (e.g. MPTCP key hashing) that delay subsequent segments.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -116,6 +117,7 @@ class Host : public PacketSink {
 
  private:
   void process(const TcpSegment& seg);
+  void process_queued();
 
   struct Interface {
     IpAddr addr;
@@ -133,6 +135,11 @@ class Host : public PacketSink {
   CpuConfig cpu_;
   SimTime cpu_free_at_ = 0;
   SimTime cpu_busy_total_ = 0;
+  /// Segments awaiting the modelled CPU. Completion times are scheduled in
+  /// non-decreasing order (cpu_free_at_ is monotonic), so each completion
+  /// event processes the front -- the queue keeps segments out of the event
+  /// closures, which stay allocation-free.
+  std::deque<TcpSegment> cpu_pending_;
 
   uint64_t send_drops_ = 0;
   uint64_t delivered_segments_ = 0;

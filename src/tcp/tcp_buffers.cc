@@ -1,11 +1,76 @@
 #include "tcp/tcp_buffers.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace mptcp {
 
-void ReassemblyQueue::insert(uint64_t seq, std::vector<uint8_t> bytes) {
+// ---------------------------------------------------------------------------
+// SendBuffer
+// ---------------------------------------------------------------------------
+
+SendBuffer::ChunkIter SendBuffer::find_chunk(uint64_t seq) const {
+  // Chunks are contiguous and sorted; binary search for the last chunk
+  // with start <= seq.
+  auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), seq,
+      [](uint64_t s, const Chunk& c) { return s < c.start; });
+  assert(it != chunks_.begin() && "sequence below the buffered range");
+  return std::prev(it);
+}
+
+Payload SendBuffer::slice_out(uint64_t seq, size_t len) const {
+  assert(seq >= base_seq_ && seq + len <= end_seq() &&
+         "slice_out outside buffered range");
+  if (len == 0) return Payload();
+  ChunkIter it = find_chunk(seq);
+  const size_t off = static_cast<size_t>(seq - it->start);
+  if (off + len <= it->bytes.size()) {
+    // Common case: the segment lies inside one application write / one
+    // mapped chunk. Share the bytes.
+    return it->bytes.subview(off, len);
+  }
+  // Straddles chunk boundaries: assemble once.
+  std::vector<uint8_t> flat;
+  flat.reserve(len);
+  uint64_t at = seq;
+  while (flat.size() < len) {
+    const size_t coff = static_cast<size_t>(at - it->start);
+    const size_t n = std::min(len - flat.size(), it->bytes.size() - coff);
+    const uint8_t* p = it->bytes.data() + coff;
+    flat.insert(flat.end(), p, p + n);
+    at += n;
+    ++it;  // contiguous: the next chunk starts exactly at `at`
+  }
+  return Payload(flat);
+}
+
+void SendBuffer::free_through(uint64_t seq) {
+  if (seq <= base_seq_) return;
+  size_t n = std::min(static_cast<size_t>(seq - base_seq_), size_);
+  base_seq_ += n;
+  size_ -= n;
+  while (n > 0 && !chunks_.empty()) {
+    Chunk& front = chunks_.front();
+    if (front.bytes.size() <= n) {
+      n -= front.bytes.size();
+      chunks_.pop_front();
+    } else {
+      front.bytes.remove_prefix(n);
+      front.start += n;
+      n = 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReassemblyQueue
+// ---------------------------------------------------------------------------
+
+void ReassemblyQueue::insert(uint64_t seq, Payload bytes) {
   if (bytes.empty()) return;
   last_insert_seq_ = seq;
-  uint64_t end = seq + bytes.size();
+  const uint64_t end = seq + bytes.size();
 
   // Trim against the predecessor (chunk starting at or before seq).
   auto it = chunks_.upper_bound(seq);
@@ -14,8 +79,7 @@ void ReassemblyQueue::insert(uint64_t seq, std::vector<uint8_t> bytes) {
     const uint64_t prev_end = prev->first + prev->second.size();
     if (prev_end >= end) return;  // fully covered
     if (prev_end > seq) {
-      bytes.erase(bytes.begin(),
-                  bytes.begin() + static_cast<size_t>(prev_end - seq));
+      bytes.remove_prefix(static_cast<size_t>(prev_end - seq));
       seq = prev_end;
     }
   }
@@ -27,22 +91,18 @@ void ReassemblyQueue::insert(uint64_t seq, std::vector<uint8_t> bytes) {
     if (next_start <= seq) {
       // Successor covers our head.
       if (next_end >= end) return;
-      bytes.erase(bytes.begin(),
-                  bytes.begin() + static_cast<size_t>(next_end - seq));
+      bytes.remove_prefix(static_cast<size_t>(next_end - seq));
       seq = next_end;
       it = chunks_.upper_bound(seq);
       continue;
     }
     // Successor starts inside our range: keep only our head up to it,
     // insert, and continue with the tail beyond the successor.
-    std::vector<uint8_t> head(bytes.begin(),
-                              bytes.begin() +
-                                  static_cast<size_t>(next_start - seq));
+    const size_t head_len = static_cast<size_t>(next_start - seq);
+    Payload head = bytes.subview(0, head_len);
     ooo_bytes_ += head.size();
     chunks_.emplace(seq, std::move(head));
-    bytes.erase(bytes.begin(),
-                bytes.begin() + static_cast<size_t>(
-                                    std::min(next_end, end) - seq));
+    bytes.remove_prefix(static_cast<size_t>(std::min(next_end, end) - seq));
     seq = next_end;
     if (seq >= end) return;
     it = chunks_.upper_bound(seq);
@@ -83,20 +143,19 @@ std::vector<std::pair<uint64_t, uint64_t>> ReassemblyQueue::sack_ranges(
   return out;
 }
 
-std::optional<std::pair<uint64_t, std::vector<uint8_t>>>
-ReassemblyQueue::pop_ready(uint64_t rcv_nxt) {
+std::optional<std::pair<uint64_t, Payload>> ReassemblyQueue::pop_ready(
+    uint64_t rcv_nxt) {
   while (!chunks_.empty()) {
     auto it = chunks_.begin();
     const uint64_t seq = it->first;
     const uint64_t end = seq + it->second.size();
     if (seq > rcv_nxt) return std::nullopt;
-    std::vector<uint8_t> bytes = std::move(it->second);
+    Payload bytes = std::move(it->second);
     ooo_bytes_ -= bytes.size();
     chunks_.erase(it);
     if (end <= rcv_nxt) continue;  // stale chunk, already delivered
     if (seq < rcv_nxt) {
-      bytes.erase(bytes.begin(),
-                  bytes.begin() + static_cast<size_t>(rcv_nxt - seq));
+      bytes.remove_prefix(static_cast<size_t>(rcv_nxt - seq));
       return std::make_pair(rcv_nxt, std::move(bytes));
     }
     return std::make_pair(seq, std::move(bytes));

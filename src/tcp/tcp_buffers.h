@@ -1,4 +1,11 @@
 // Send-side and receive-side data structures, 64-bit sequence based.
+//
+// Both sides store refcounted Payload chunks rather than flat byte
+// arrays: the send buffer keeps each application write (or each mapped
+// chunk pushed down by the MPTCP meta level) as one shared chunk, so
+// carving an MSS-sized segment -- including every retransmission of it --
+// is a zero-copy subview; the reassembly queue likewise holds the
+// segment payloads it was handed without duplicating them.
 #pragma once
 
 #include <cstdint>
@@ -7,6 +14,8 @@
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "net/payload.h"
 
 namespace mptcp {
 
@@ -19,55 +28,86 @@ class SendBuffer {
 
   void reset(uint64_t base_seq) {
     base_seq_ = base_seq;
-    data_.clear();
+    chunks_.clear();
+    size_ = 0;
   }
 
   /// Appends up to `capacity - size()` bytes; returns bytes accepted.
+  /// The accepted bytes are copied once into a fresh chunk (the
+  /// application keeps ownership of its span).
   size_t append(std::span<const uint8_t> bytes, size_t capacity) {
-    const size_t space = capacity > data_.size() ? capacity - data_.size() : 0;
+    const size_t space = capacity > size_ ? capacity - size_ : 0;
     const size_t n = std::min(space, bytes.size());
-    data_.insert(data_.end(), bytes.begin(), bytes.begin() + n);
+    if (n == 0) return 0;
+    push_chunk(Payload(bytes.first(n)));
     return n;
   }
 
-  /// Copies `len` bytes starting at sequence `seq` into `out`. The range
-  /// must be within [base_seq, end_seq).
-  void copy_out(uint64_t seq, size_t len, std::vector<uint8_t>& out) const {
-    const size_t off = static_cast<size_t>(seq - base_seq_);
-    out.assign(data_.begin() + off, data_.begin() + off + len);
+  /// Appends an already-refcounted chunk without copying (truncated to
+  /// the available space); returns bytes accepted. This is how mapped
+  /// data pushed from the MPTCP meta level shares one buffer all the way
+  /// to the wire.
+  size_t append_shared(Payload bytes, size_t capacity) {
+    const size_t space = capacity > size_ ? capacity - size_ : 0;
+    const size_t n = std::min(space, bytes.size());
+    if (n == 0) return 0;
+    bytes.truncate(n);
+    push_chunk(std::move(bytes));
+    return n;
   }
+
+  /// Returns `len` bytes starting at sequence `seq` as a shared view.
+  /// Zero-copy when the range lies within one stored chunk (the common
+  /// case: segments never straddle an application write or an MPTCP
+  /// mapping); assembles a fresh buffer otherwise. The range must be
+  /// within [base_seq, end_seq).
+  Payload slice_out(uint64_t seq, size_t len) const;
 
   /// Releases all bytes below `seq` (cumulative ACK).
-  void free_through(uint64_t seq) {
-    if (seq <= base_seq_) return;
-    const size_t n =
-        std::min(static_cast<size_t>(seq - base_seq_), data_.size());
-    data_.erase(data_.begin(), data_.begin() + n);
-    base_seq_ += n;
-  }
+  void free_through(uint64_t seq);
 
   uint64_t base_seq() const { return base_seq_; }
-  uint64_t end_seq() const { return base_seq_ + data_.size(); }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  uint64_t end_seq() const { return base_seq_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of stored chunks (diagnostics).
+  size_t chunk_count() const { return chunks_.size(); }
 
  private:
+  struct Chunk {
+    uint64_t start;  ///< unwrapped sequence of bytes[0]
+    Payload bytes;
+  };
+
+  void push_chunk(Payload bytes) {
+    const uint64_t start = end_seq();
+    size_ += bytes.size();
+    chunks_.push_back(Chunk{start, std::move(bytes)});
+  }
+
+  using ChunkIter = std::deque<Chunk>::const_iterator;
+
+  /// The chunk containing `seq` (binary search; chunks are sorted and
+  /// contiguous).
+  ChunkIter find_chunk(uint64_t seq) const;
+
   uint64_t base_seq_;
-  std::deque<uint8_t> data_;
+  size_t size_ = 0;
+  std::deque<Chunk> chunks_;  ///< contiguous, sorted by start
 };
 
 /// Out-of-order reassembly queue keyed by unwrapped sequence number.
-/// Overlapping inserts are trimmed so stored chunks are disjoint.
+/// Overlapping inserts are trimmed so stored chunks are disjoint; trims
+/// are zero-copy subviews of the arriving payload.
 class ReassemblyQueue {
  public:
   /// Inserts a chunk; overlaps with existing chunks are discarded from the
   /// new chunk (first-arrival wins, like most stacks).
-  void insert(uint64_t seq, std::vector<uint8_t> bytes);
+  void insert(uint64_t seq, Payload bytes);
 
   /// If the chunk at the head starts at or below `rcv_nxt`, pops it
   /// (trimmed to start exactly at rcv_nxt). Returns nullopt otherwise.
-  std::optional<std::pair<uint64_t, std::vector<uint8_t>>> pop_ready(
-      uint64_t rcv_nxt);
+  std::optional<std::pair<uint64_t, Payload>> pop_ready(uint64_t rcv_nxt);
 
   size_t ooo_bytes() const { return ooo_bytes_; }
   size_t chunk_count() const { return chunks_.size(); }
@@ -85,7 +125,7 @@ class ReassemblyQueue {
   }
 
  private:
-  std::map<uint64_t, std::vector<uint8_t>> chunks_;
+  std::map<uint64_t, Payload> chunks_;
   size_t ooo_bytes_ = 0;
   uint64_t last_insert_seq_ = 0;
 };

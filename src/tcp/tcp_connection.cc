@@ -175,6 +175,13 @@ size_t TcpConnection::write(std::span<const uint8_t> bytes) {
   return n;
 }
 
+size_t TcpConnection::write_shared(Payload bytes) {
+  if (fin_pending_ || fin_sent_) return 0;
+  const size_t n = snd_buf_.append_shared(std::move(bytes), snd_buf_capacity_);
+  try_send();
+  return n;
+}
+
 size_t TcpConnection::read(std::span<uint8_t> out) {
   const size_t n = std::min(out.size(), app_rx_.size());
   std::copy(app_rx_.begin(), app_rx_.begin() + n, out.begin());
@@ -587,7 +594,7 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
 
 void TcpConnection::process_payload(const TcpSegment& seg) {
   uint64_t seq64 = seq_unwrap(rcv_nxt_, seg.seq);
-  std::vector<uint8_t> payload = seg.payload;
+  Payload payload = seg.payload;  // shares the buffer; trims below are views
   // Anything other than clean in-order data is ACKed immediately: gaps
   // need dupacks, duplicates need re-acks, FINs need prompt answers.
   bool ack_now = !config_.delayed_ack || seg.fin || !reassembly_.empty() ||
@@ -612,13 +619,12 @@ void TcpConnection::process_payload(const TcpSegment& seg) {
       return;
     }
     if (end > max_accept) {
-      payload.resize(static_cast<size_t>(max_accept - seq64));
+      payload.truncate(static_cast<size_t>(max_accept - seq64));
     }
 
     if (seq64 <= rcv_nxt_) {
       if (seq64 < rcv_nxt_) {
-        payload.erase(payload.begin(),
-                      payload.begin() + static_cast<size_t>(rcv_nxt_ - seq64));
+        payload.remove_prefix(static_cast<size_t>(rcv_nxt_ - seq64));
         seq64 = rcv_nxt_;
       }
       rcv_nxt_ += payload.size();
@@ -737,7 +743,7 @@ void TcpConnection::send_data_segment(uint64_t seq, size_t len,
   seg.psh = true;
   seg.window = static_cast<uint16_t>(
       std::min<uint64_t>(65535, advertised_window_bytes() >> rcv_wscale_));
-  snd_buf_.copy_out(seq, len, seg.payload);
+  seg.payload = snd_buf_.slice_out(seq, len);
   if (config_.timestamps) {
     seg.options.push_back(TimestampOption{current_tsval(), ts_recent_});
   }
@@ -963,7 +969,7 @@ void TcpConnection::build_segment_options(std::vector<TcpOption>&, uint64_t,
 void TcpConnection::process_incoming_options(const TcpSegment&) {}
 void TcpConnection::on_established() {}
 
-void TcpConnection::deliver_data(uint64_t, std::vector<uint8_t> bytes) {
+void TcpConnection::deliver_data(uint64_t, Payload bytes) {
   stats_.bytes_delivered += bytes.size();
   app_rx_.insert(app_rx_.end(), bytes.begin(), bytes.end());
   if (on_readable) on_readable();

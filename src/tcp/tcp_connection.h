@@ -63,6 +63,10 @@ class TcpConnection : public SegmentHandler, public StreamSocket {
   /// (bounded by send-buffer space).
   size_t write(std::span<const uint8_t> bytes) override;
 
+  /// Like write(), but shares an already-refcounted buffer instead of
+  /// copying (used by MPTCP to push mapped data down to subflows).
+  size_t write_shared(Payload bytes);
+
   /// Reads up to out.size() in-order bytes; returns bytes read.
   size_t read(std::span<uint8_t> out) override;
   size_t readable_bytes() const override { return app_rx_.size(); }
@@ -165,7 +169,7 @@ class TcpConnection : public SegmentHandler, public StreamSocket {
   virtual void on_established();
   /// Delivers in-order payload. `seq` is the unwrapped subflow sequence of
   /// bytes[0]. Default: append to the application receive queue.
-  virtual void deliver_data(uint64_t seq, std::vector<uint8_t> bytes);
+  virtual void deliver_data(uint64_t seq, Payload bytes);
   /// Called when snd_una advances (subflow-level acknowledgment).
   virtual void on_bytes_acked(uint64_t new_snd_una);
   /// Called when the peer's FIN is consumed (end of subflow stream).

@@ -22,16 +22,36 @@ TEST(SendBuffer, AppendRespectsCapacity) {
   EXPECT_EQ(buf.end_seq(), 1150u);
 }
 
-TEST(SendBuffer, CopyOutReturnsCorrectRange) {
+TEST(SendBuffer, SliceOutReturnsCorrectRange) {
   SendBuffer buf(500);
   std::vector<uint8_t> data(26);
   for (size_t i = 0; i < data.size(); ++i) {
     data[i] = static_cast<uint8_t>('a' + i);
   }
   buf.append(data, 100);
-  std::vector<uint8_t> out;
-  buf.copy_out(505, 3, out);
-  EXPECT_EQ(out, (std::vector<uint8_t>{'f', 'g', 'h'}));
+  EXPECT_EQ(buf.slice_out(505, 3), (Payload{'f', 'g', 'h'}));
+}
+
+TEST(SendBuffer, SliceOutWithinOneChunkSharesTheBuffer) {
+  SendBuffer buf(0);
+  std::vector<uint8_t> data(100, 9);
+  buf.append(data, 100);
+  const Payload a = buf.slice_out(10, 20);
+  const Payload b = buf.slice_out(30, 20);
+  EXPECT_TRUE(a.shares_buffer_with(b));  // both views of the one chunk
+}
+
+TEST(SendBuffer, SliceOutAcrossChunksAssembles) {
+  SendBuffer buf(0);
+  std::vector<uint8_t> data(50);
+  for (size_t i = 0; i < 50; ++i) data[i] = static_cast<uint8_t>(i);
+  buf.append(std::span(data).first(20), 100);   // chunk [0,20)
+  buf.append(std::span(data).subspan(20), 100);  // chunk [20,50)
+  const Payload out = buf.slice_out(15, 10);
+  ASSERT_EQ(out.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i], static_cast<uint8_t>(15 + i));
+  }
 }
 
 TEST(SendBuffer, FreeThroughAdvancesBase) {
@@ -42,9 +62,7 @@ TEST(SendBuffer, FreeThroughAdvancesBase) {
   buf.free_through(40);
   EXPECT_EQ(buf.base_seq(), 40u);
   EXPECT_EQ(buf.size(), 60u);
-  std::vector<uint8_t> out;
-  buf.copy_out(40, 2, out);
-  EXPECT_EQ(out, (std::vector<uint8_t>{40, 41}));
+  EXPECT_EQ(buf.slice_out(40, 2), (Payload{40, 41}));
   // Freeing below base is a no-op.
   buf.free_through(10);
   EXPECT_EQ(buf.base_seq(), 40u);
@@ -52,10 +70,10 @@ TEST(SendBuffer, FreeThroughAdvancesBase) {
 
 // --- ReassemblyQueue -------------------------------------------------------------
 
-std::vector<uint8_t> fill(uint64_t seq, size_t n) {
+Payload fill(uint64_t seq, size_t n) {
   std::vector<uint8_t> out(n);
   for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(seq + i);
-  return out;
+  return Payload(out);
 }
 
 /// Pops everything that is ready and checks content correctness.

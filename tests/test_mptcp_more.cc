@@ -135,23 +135,32 @@ TEST(MptcpScale, ManySequentialConnectionsReuseCleanly) {
   MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);
   uint64_t transfers_ok = 0;
   std::unique_ptr<BulkReceiver> rx;
-  MptcpConnection* server_side = nullptr;
+  uint64_t got = 0;
+  bool pattern_ok = false;
   ss.listen(80, [&](MptcpConnection& c) {
     c.set_auto_destroy(true);
-    server_side = &c;
     rx = std::make_unique<BulkReceiver>(c);
     rx->on_eof = [&c] { c.close(); };  // finish the reverse direction
+    // The receiver references the connection, so it must not outlive an
+    // auto-destroyed one: snapshot its counters and drop it on close.
+    c.on_closed = [&] {
+      if (rx) {
+        got = rx->bytes_received();
+        pattern_ok = rx->pattern_ok();
+        rx.reset();
+      }
+    };
   });
   for (int i = 0; i < 50; ++i) {
+    got = 0;
+    pattern_ok = false;
     MptcpConnection& cc =
         cs.connect(rig.client_addr(0), {rig.server_addr(), 80});
     BulkSender tx(cc, 50 * 1000);
     const SimTime deadline = rig.loop().now() + 2 * kSecond;
     rig.loop().run_until(deadline);
-    if (rx && rx->bytes_received() == 50u * 1000u && rx->pattern_ok()) {
-      ++transfers_ok;
-    }
-    rx.reset();
+    if (got == 50u * 1000u && pattern_ok) ++transfers_ok;
+    rx.reset();  // transfer failed: the connection is still alive here
   }
   EXPECT_EQ(transfers_ok, 50u);
   EXPECT_LE(cs.tokens().size(), 2u);  // all unregistered after teardown

@@ -1,0 +1,136 @@
+// Shared-payload semantics: refcounted views, zero-copy slicing,
+// copy-on-write, and the cached folded checksum -- including the
+// end-to-end property that a payload-rewriting middlebox cannot corrupt
+// the sender's retransmit buffer through the shared bytes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "middlebox/payload_modifier.h"
+#include "net/checksum.h"
+#include "net/payload.h"
+#include "net/segment.h"
+#include "tcp/tcp_buffers.h"
+
+namespace mptcp {
+namespace {
+
+std::vector<uint8_t> pattern(size_t n) {
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(i * 7 + 3);
+  return out;
+}
+
+TEST(Payload, CopySharesTheBuffer) {
+  Payload a(pattern(100));
+  Payload b = a;
+  EXPECT_TRUE(a.shares_buffer_with(b));
+  EXPECT_EQ(a.buffer_refs(), 2u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Payload, SubviewSharesAndSeesTheRightBytes) {
+  Payload a(pattern(100));
+  Payload s = a.subview(10, 20);
+  EXPECT_TRUE(s.shares_buffer_with(a));
+  ASSERT_EQ(s.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(s[i], a[10 + i]);
+}
+
+TEST(Payload, RemovePrefixAndTruncateAreZeroCopy) {
+  Payload a(pattern(50));
+  Payload v = a;
+  v.remove_prefix(10);
+  v.truncate(20);
+  EXPECT_TRUE(v.shares_buffer_with(a));
+  ASSERT_EQ(v.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(v[i], a[10 + i]);
+}
+
+TEST(Payload, MutableDataOnUnsharedBufferDoesNotCopy) {
+  Payload a(pattern(10));
+  const uint8_t* before = a.data();
+  EXPECT_EQ(a.buffer_refs(), 1u);
+  uint8_t* w = a.mutable_data();
+  EXPECT_EQ(w, before);  // sole owner: written in place
+}
+
+TEST(Payload, MutableDataOnSharedBufferCopiesOnWrite) {
+  Payload a(pattern(64));
+  Payload b = a;
+  b.mutable_data()[0] = 0xEE;
+  EXPECT_FALSE(a.shares_buffer_with(b));  // b unshared itself
+  EXPECT_EQ(a[0], pattern(64)[0]);        // a untouched
+  EXPECT_EQ(b[0], 0xEE);
+}
+
+TEST(Payload, FoldedSumIsCachedAndMatchesDirectComputation) {
+  Payload a(pattern(1460));
+  EXPECT_FALSE(a.sum_cached());
+  const uint16_t s = a.folded_sum();
+  EXPECT_TRUE(a.sum_cached());
+  EXPECT_EQ(s, ones_complement_sum(a.span()));
+  // Copies inherit the cache; subviews of a partial range do not.
+  Payload b = a;
+  EXPECT_TRUE(b.sum_cached());
+  Payload v = a.subview(1, 10);
+  EXPECT_FALSE(v.sum_cached());
+  EXPECT_EQ(v.folded_sum(), ones_complement_sum(v.span()));
+}
+
+TEST(Payload, MutableDataInvalidatesCachedSum) {
+  Payload a(pattern(100));
+  const uint16_t before = a.folded_sum();
+  ASSERT_TRUE(a.sum_cached());
+  a.mutable_data()[50] ^= 0xA5;
+  EXPECT_FALSE(a.sum_cached());
+  const uint16_t after = a.folded_sum();
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after, ones_complement_sum(a.span()));
+}
+
+// --- The COW property the retransmit path depends on ------------------------
+
+class CapturingSink : public PacketSink {
+ public:
+  std::vector<TcpSegment> segs;
+  void deliver(TcpSegment seg) override { segs.push_back(std::move(seg)); }
+};
+
+TEST(PayloadCow, ModifierRewriteLeavesSendBufferIntact) {
+  // A segment carved from the send buffer shares its bytes; a
+  // payload-rewriting middlebox (ALG) must trigger copy-on-write rather
+  // than corrupt the copy the sender would retransmit from.
+  SendBuffer snd(0);
+  const std::vector<uint8_t> original = pattern(1000);
+  snd.append(original, original.size());
+
+  TcpSegment seg;
+  seg.tuple = {{IpAddr(10, 0, 0, 1), 1}, {IpAddr(10, 0, 0, 2), 2}};
+  seg.payload = snd.slice_out(0, 500);
+  const uint16_t clean_sum = seg.payload.folded_sum();
+  ASSERT_TRUE(seg.payload.shares_buffer_with(snd.slice_out(0, 500)));
+
+  PayloadModifier alg;
+  CapturingSink sink;
+  alg.set_target(&sink);
+  alg.deliver(std::move(seg));
+  ASSERT_EQ(alg.segments_modified(), 1u);
+  ASSERT_EQ(sink.segs.size(), 1u);
+
+  const Payload& mangled = sink.segs[0].payload;
+  EXPECT_EQ(mangled[250], static_cast<uint8_t>(original[250] ^ 0xA5));
+  EXPECT_NE(mangled.folded_sum(), clean_sum);  // recomputed post-rewrite
+
+  // The retransmission reads the same range again: bytes and cached sum
+  // are those of the original data, not the middlebox's rewrite.
+  const Payload rtx = snd.slice_out(0, 500);
+  EXPECT_FALSE(rtx.shares_buffer_with(mangled));
+  EXPECT_EQ(rtx.folded_sum(), clean_sum);
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(rtx[i], original[i]) << "retransmit buffer corrupted at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mptcp

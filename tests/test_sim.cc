@@ -95,6 +95,51 @@ TEST(Timer, RearmReplacesDeadline) {
   EXPECT_EQ(loop.now(), 200);
 }
 
+TEST(EventLoop, RepeatedTimerRearmKeepsHeapBounded) {
+  // Regression: cancel() used to leave the old entry in the priority
+  // queue, so RTO-style timers re-armed on every segment grew the heap
+  // without bound. Cancelled entries must now be reclaimed.
+  EventLoop loop;
+  int fired = 0;
+  Timer t(loop, [&] { ++fired; });
+  for (int i = 0; i < 100000; ++i) {
+    t.arm_in(1000 + i);  // each arm cancels the previous deadline
+  }
+  EXPECT_EQ(loop.pending_count(), 1u);
+  EXPECT_LE(loop.heap_size(), 256u);  // dead entries compacted away
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending_count(), 0u);
+  EXPECT_FALSE(loop.has_pending());
+}
+
+TEST(EventLoop, ScheduleCancelChurnReusesSlots) {
+  EventLoop loop;
+  bool fired = false;
+  for (int i = 0; i < 100000; ++i) {
+    auto id = loop.schedule_at(10 + i, [&] { fired = true; });
+    loop.cancel(id);
+    loop.cancel(id);  // double-cancel is a no-op (generation mismatch)
+  }
+  EXPECT_EQ(loop.pending_count(), 0u);
+  EXPECT_LE(loop.heap_size(), 256u);
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, StaleIdCannotCancelSlotReuser) {
+  EventLoop loop;
+  bool fired = false;
+  auto id = loop.schedule_at(10, [] {});
+  loop.cancel(id);
+  // The freed slot is reused by the next schedule; the stale id's
+  // generation no longer matches, so cancelling it must be a no-op.
+  loop.schedule_at(20, [&] { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_TRUE(fired);
+}
+
 // --- Link ---------------------------------------------------------------------
 
 struct Collector : PacketSink {
