@@ -84,6 +84,12 @@ RunResult run_mptcp(const RunConfig& cfg) {
   out.m1_count = client.meta_stats().opportunistic_retransmits;
   out.m2_count = client.meta_stats().penalizations;
   if (cfg.measure_block_delay) out.app_delays = block_rx->delays();
+  if (!cfg.stats_out.empty()) {
+    if (std::FILE* f = std::fopen(cfg.stats_out.c_str(), "w")) {
+      std::fputs(rig.dump_stats().c_str(), f);
+      std::fclose(f);
+    }
+  }
   return out;
 }
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark JSON against a tracked baseline.
+
+Both files are flat {"metric": number} objects (the shape bench_hotpath
+writes). Every metric is treated as higher-is-better; a metric that fell
+below baseline * (1 - tolerance) is a regression and fails the check.
+Metrics measuring cost rather than rate (wall_seconds_total) are skipped,
+as are metrics present in only one file.
+
+Usage: check_bench.py BASELINE NEW [--tolerance 0.30]
+Exit status: 0 ok, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+SKIP = {"wall_seconds_total"}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional drop below baseline "
+                         "(default 0.30 = 30%%)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.new) as f:
+            new = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: {e}", file=sys.stderr)
+        return 2
+
+    shared = sorted(
+        k for k in base
+        if k in new and k not in SKIP
+        and isinstance(base[k], (int, float))
+        and isinstance(new[k], (int, float))
+    )
+    if not shared:
+        print("check_bench: no comparable metrics", file=sys.stderr)
+        return 2
+
+    failed = False
+    for k in shared:
+        floor = base[k] * (1.0 - args.tolerance)
+        ratio = new[k] / base[k] if base[k] else float("inf")
+        status = "ok" if new[k] >= floor else "REGRESSION"
+        failed |= status != "ok"
+        print(f"{status:>10}  {k:<28} base={base[k]:<12.6g} "
+              f"new={new[k]:<12.6g} ({ratio:.2%} of baseline)")
+
+    only = sorted((set(base) | set(new)) - set(shared) - SKIP)
+    for k in only:
+        print(f"{'skipped':>10}  {k:<28} (not in both files)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

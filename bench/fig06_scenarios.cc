@@ -18,12 +18,13 @@ namespace {
 void run_scenario(const char* title, const std::vector<PathSpec>& paths,
                   const std::vector<size_t>& buffers_kb,
                   const std::vector<size_t>& tcp_baselines,
-                  SimTime duration) {
+                  SimTime duration, const std::string& stats_out = "") {
   std::printf("\n# %s\n", title);
   std::printf("%-10s %16s %16s", "buf_KB", "regMPTCP", "MPTCP+M1,2");
   for (size_t b : tcp_baselines) std::printf("        TCP/path%zu", b);
   std::printf("   (Mbps)\n");
 
+  bool stats_pending = !stats_out.empty();
   for (size_t kb : buffers_kb) {
     RunConfig cfg;
     cfg.paths = paths;
@@ -34,7 +35,13 @@ void run_scenario(const char* title, const std::vector<PathSpec>& paths,
     cfg.variant = regular_mptcp();
     const RunResult reg = run_mptcp(cfg);
     cfg.variant = mptcp_m12();
+    // Export the full stats registry from the first M1,2 data point.
+    if (stats_pending) {
+      cfg.stats_out = stats_out;
+      stats_pending = false;
+    }
     const RunResult m12 = run_mptcp(cfg);
+    cfg.stats_out.clear();
 
     std::printf("%-10zu %16.2f %16.2f", kb, reg.goodput_bps / 1e6,
                 m12.goodput_bps / 1e6);
@@ -50,12 +57,24 @@ void run_scenario(const char* title, const std::vector<PathSpec>& paths,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;
+  std::string stats_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--stats" && i + 1 < argc) {
+      stats_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--stats FILE]\n", argv[0]);
+      return 2;
+    }
+  }
 
   run_scenario("Fig 6(a): WiFi + very weak lossy 3G (50 kbps, 2% loss)",
                {wifi_path(), weak_threeg_path(0.02)},
                {50, 100, 200, 400, 600, 1000, 2000},
-               {0, 1}, quick ? 10 * kSecond : 30 * kSecond);
+               {0, 1}, quick ? 10 * kSecond : 30 * kSecond, stats_out);
 
   run_scenario(
       "Fig 6(b): 1 Gbps + 100 Mbps",

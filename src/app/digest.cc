@@ -1,0 +1,136 @@
+#include "app/digest.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "app/bulk_app.h"
+#include "app/harness.h"
+#include "core/mptcp_stack.h"
+#include "sim/node.h"
+
+namespace mptcp {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline void fnv_byte(uint64_t& h, uint8_t b) {
+  h ^= b;
+  h *= kFnvPrime;
+}
+
+inline void fnv_u64(uint64_t& h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) fnv_byte(h, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+/// A transparent link tap: hashes every segment it sees in delivery order,
+/// then forwards it unmodified to the link's original target.
+class HashingTap final : public PacketSink {
+ public:
+  HashingTap(EventLoop& loop, uint64_t& hash, uint64_t& packets)
+      : loop_(loop), hash_(hash), packets_(packets) {}
+
+  void set_next(PacketSink* next) { next_ = next; }
+
+  void deliver(TcpSegment seg) override {
+    ++packets_;
+    fnv_u64(hash_, static_cast<uint64_t>(loop_.now()));
+    fnv_u64(hash_, uint64_t{seg.tuple.src.addr.value} << 16 |
+                       seg.tuple.src.port);
+    fnv_u64(hash_, uint64_t{seg.tuple.dst.addr.value} << 16 |
+                       seg.tuple.dst.port);
+    fnv_u64(hash_, seg.seq);
+    fnv_u64(hash_, seg.ack);
+    fnv_u64(hash_, seg.window);
+    fnv_byte(hash_, static_cast<uint8_t>((seg.syn ? 1 : 0) |
+                                         (seg.ack_flag ? 2 : 0) |
+                                         (seg.fin ? 4 : 0) |
+                                         (seg.rst ? 8 : 0) |
+                                         (seg.psh ? 16 : 0)));
+    fnv_u64(hash_, seg.options_wire_size());
+    fnv_u64(hash_, seg.payload.size());
+    for (uint8_t b : seg.payload.span()) fnv_byte(hash_, b);
+    next_->deliver(std::move(seg));
+  }
+
+ private:
+  EventLoop& loop_;
+  uint64_t& hash_;
+  uint64_t& packets_;
+  PacketSink* next_ = nullptr;
+};
+
+}  // namespace
+
+DigestResult run_digest_scenario(const DigestConfig& cfg) {
+  DigestResult out;
+  uint64_t hash = kFnvOffset;
+
+  TwoHostRig rig(cfg.seed);
+  rig.add_path(wifi_path());
+  rig.add_path(weak_threeg_path(cfg.loss));
+
+  // Tap all four link directions before any traffic flows.
+  std::vector<std::unique_ptr<HashingTap>> taps;
+  for (size_t i = 0; i < rig.path_count(); ++i) {
+    for (bool up : {true, false}) {
+      auto tap = std::make_unique<HashingTap>(rig.loop(), hash,
+                                              out.packets_hashed);
+      HashingTap* raw = tap.get();
+      auto wire = [raw](PacketSink* next) { raw->set_next(next); };
+      if (up) {
+        rig.splice_up(i, raw, wire);
+      } else {
+        rig.splice_down(i, raw, wire);
+      }
+      taps.push_back(std::move(tap));
+    }
+  }
+
+  MptcpConfig mc;
+  mc.opportunistic_retransmit = true;  // Mechanism 1
+  mc.penalize_slow_subflows = true;    // Mechanism 2
+  mc.tcp.seed = cfg.seed;
+
+  MptcpStack client_stack(rig.client(), mc);
+  MptcpStack server_stack(rig.server(), mc);
+
+  std::unique_ptr<BulkReceiver> rx;
+  server_stack.listen(80, [&](MptcpConnection& c) {
+    rx = std::make_unique<BulkReceiver>(c, /*verify=*/false);
+  });
+  MptcpConnection& client = client_stack.connect(
+      rig.client_addr(0), Endpoint{rig.server_addr(), 80});
+  BulkSender tx(client, 0);
+
+  rig.loop().run_until(cfg.duration);
+
+  out.bytes_delivered = rx != nullptr ? rx->bytes_received() : 0;
+  out.stats_json = rig.dump_stats();
+
+  // Fold the final stats into the digest too: counters that drifted
+  // without changing the packet stream (e.g. event accounting) still
+  // break determinism and should be caught.
+  for (const auto& [name, value] : rig.stats().flatten()) {
+    for (char c : name) fnv_byte(hash, static_cast<uint8_t>(c));
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    for (const char* p = buf; *p != '\0'; ++p) {
+      fnv_byte(hash, static_cast<uint8_t>(*p));
+    }
+  }
+
+  out.digest = hash;
+  return out;
+}
+
+std::string digest_hex(uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf);
+}
+
+}  // namespace mptcp

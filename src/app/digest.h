@@ -1,0 +1,40 @@
+// Determinism digest: a fixed-seed run of the paper's Fig. 6 scenario
+// (WiFi + weak lossy 3G, Mechanisms 1+2) with every packet that crosses
+// any link folded into one order-sensitive 64-bit hash, together with the
+// final stats export.
+//
+// The simulator is a deterministic discrete-event system: same build +
+// same seed must produce byte-identical event streams. CI runs this
+// scenario twice and compares digests; any nondeterminism (iteration over
+// pointer-keyed containers, uninitialised reads, wall-clock leakage into
+// the simulation) shows up as a digest mismatch long before it produces a
+// flaky test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_loop.h"
+
+namespace mptcp {
+
+struct DigestConfig {
+  uint64_t seed = 1;
+  SimTime duration = 5 * kSecond;
+  double loss = 0.02;  ///< Bernoulli loss on the weak 3G path
+};
+
+struct DigestResult {
+  uint64_t digest = 0;          ///< FNV-1a 64 over packets + final stats
+  uint64_t packets_hashed = 0;  ///< link crossings folded into the digest
+  uint64_t bytes_delivered = 0;
+  std::string stats_json;       ///< the run's full stats export
+};
+
+/// Runs the scenario and returns the digest. Deterministic by contract.
+DigestResult run_digest_scenario(const DigestConfig& cfg = {});
+
+/// 16-digit lowercase hex rendering of a digest.
+std::string digest_hex(uint64_t digest);
+
+}  // namespace mptcp

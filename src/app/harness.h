@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/link.h"
@@ -62,6 +63,14 @@ class TwoHostRig {
   Host& client() { return client_; }
   Host& server() { return server_; }
   Network& network() { return net_; }
+
+  /// The simulation-wide stats registry (owned by the event loop). Every
+  /// component in the rig registers its counters here; see net/stats.h.
+  StatsRegistry& stats() { return loop_.stats(); }
+
+  /// Flat sorted-key JSON export of every registered stat. Benches pass
+  /// this through to --stats files so runs are machine-comparable.
+  std::string dump_stats() { return loop_.stats().to_json(); }
 
   IpAddr client_addr(size_t i) const { return paths_[i].client_addr; }
   IpAddr server_addr() const { return server_addr_; }

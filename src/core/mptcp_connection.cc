@@ -32,6 +32,7 @@ MptcpConnection::MptcpConnection(MptcpStack& stack, Endpoint local,
   // Prime the subflow creation endpoint; connect() does the rest.
   pending_local_ = local;
   pending_remote_ = remote;
+  register_stats();
 }
 
 MptcpConnection::MptcpConnection(MptcpStack& stack, const TcpSegment& syn)
@@ -52,10 +53,55 @@ MptcpConnection::MptcpConnection(MptcpStack& stack, const TcpSegment& syn)
                            : config_.meta_rcv_buf_max;
   pending_local_ = syn.tuple.dst;
   pending_remote_ = syn.tuple.src;
+  register_stats();
 }
 
 MptcpConnection::~MptcpConnection() {
+  // Drop this connection's (and its subflows') registry entries before any
+  // member destructs: the sampled callbacks read state that dies with us.
+  stack_.loop().stats().remove_scope(stats_scope_);
   if (token_registered_) stack_.tokens().unregister(local_token_);
+}
+
+void MptcpConnection::register_stats() {
+  StatsRegistry& reg = stack_.loop().stats();
+  stats_scope_ = reg.unique_scope(
+      role_ == Role::kClient ? "mptcp.client" : "mptcp.server");
+
+  // One registry entry for the whole scope: the hot paths keep bumping
+  // plain fields, this callback reads them only when someone exports.
+  reg.sampled_group(stats_scope_, [this](SampleSink& out) {
+    out.emit("scheduler_picks", static_cast<double>(n_scheduler_picks_));
+    out.emit("dss_mappings_emitted", static_cast<double>(n_dss_mappings_));
+    out.emit("data_ack_advances", static_cast<double>(n_data_ack_advances_));
+    out.emit("data_acked_bytes", static_cast<double>(n_data_acked_bytes_));
+    out.emit("window_stalls", static_cast<double>(n_window_stalls_));
+    out.emit("m3_autotune_resizes", static_cast<double>(n_autotune_resizes_));
+    out.emit("m1_opportunistic_rtx",
+             static_cast<double>(meta_stats_.opportunistic_retransmits));
+    out.emit("m2_penalizations",
+             static_cast<double>(meta_stats_.penalizations));
+    uint64_t caps = 0;
+    for (auto& sf : subflows_)
+      caps += sf->congestion_control().cap_activations();
+    out.emit("m4_cap_activations", static_cast<double>(caps));
+    out.emit("meta_rtx_timeouts",
+             static_cast<double>(meta_stats_.meta_rtx_timeouts));
+    out.emit("reinjected_bytes",
+             static_cast<double>(meta_stats_.reinjected_bytes));
+    out.emit("checksum_failures",
+             static_cast<double>(meta_stats_.checksum_failures));
+    out.emit("subflow_resets",
+             static_cast<double>(meta_stats_.subflow_resets));
+    out.emit("fallbacks", static_cast<double>(meta_stats_.fallbacks));
+    out.emit("rx_duplicate_bytes",
+             static_cast<double>(meta_stats_.rx_duplicate_bytes));
+    out.emit("delivered_bytes", static_cast<double>(delivered_bytes_));
+    out.emit("snd_mem_bytes", static_cast<double>(meta_snd_.size()));
+    out.emit("rcv_mem_bytes", static_cast<double>(receiver_memory()));
+    out.emit("subflows", static_cast<double>(subflows_.size()));
+    out.emit("mode", static_cast<double>(mode_));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -388,6 +434,8 @@ void MptcpConnection::sf_dss_ack(uint64_t data_ack, uint64_t window_bytes) {
   if (edge > meta_right_edge_) meta_right_edge_ = edge;
 
   if (data_ack > snd_una_d_ && data_ack <= snd_nxt_d_ + 1) {
+    ++n_data_ack_advances_;
+    n_data_acked_bytes_ += data_ack - snd_una_d_;
     meta_snd_.free_through(std::min(data_ack, meta_snd_.end_seq()));
     snd_una_d_ = data_ack;
     for (auto it = alloc_.begin(); it != alloc_.end();) {
@@ -720,6 +768,8 @@ void MptcpConnection::schedule() {
         } else {
           meta_stats_.reinjected_bytes += n;  // a duplicate copy
         }
+        ++n_scheduler_picks_;
+        sf->note_scheduler_pick();
         sf->push_mapped(ptr, std::move(bytes));
         ptr += n;
         sf->try_send();
@@ -756,6 +806,8 @@ void MptcpConnection::schedule() {
       }
       Payload bytes = meta_snd_.slice_out(begin, static_cast<size_t>(n));
       meta_stats_.reinjected_bytes += n;
+      ++n_scheduler_picks_;
+      sf->note_scheduler_pick();
       sf->push_mapped(begin, std::move(bytes));
       sf->try_send();
       if (begin + n < end) reinject_.push_front({begin + n, end - begin - n});
@@ -782,6 +834,8 @@ void MptcpConnection::schedule() {
 
     Payload bytes = meta_snd_.slice_out(snd_nxt_d_, static_cast<size_t>(n));
     alloc_[snd_nxt_d_] = Alloc{n, sf->id()};
+    ++n_scheduler_picks_;
+    sf->note_scheduler_pick();
     sf->push_mapped(snd_nxt_d_, std::move(bytes));
     snd_nxt_d_ += n;
     sf->try_send();
@@ -803,6 +857,7 @@ void MptcpConnection::schedule() {
 
 void MptcpConnection::window_blocked(MptcpSubflow* fast) {
   if (alloc_.empty()) return;
+  ++n_window_stalls_;
   const auto& [dsn0, rec0] = *alloc_.begin();
 
   // Only act when the trailing edge is held by a genuinely *slower*
@@ -964,11 +1019,15 @@ void MptcpConnection::autotune_tick() {
       2.0 * sum_tx_rate / 8.0 * to_seconds(rtt_max_tx));
   const size_t rcv_target = static_cast<size_t>(
       2.0 * sum_rx_rate / 8.0 * to_seconds(rtt_max_rx));
+  const size_t old_snd = meta_snd_capacity_;
   meta_snd_capacity_ = std::min(
       config_.meta_snd_buf_max, std::max(meta_snd_capacity_, snd_target));
   const size_t old_rcv = meta_rcv_capacity_;
   meta_rcv_capacity_ = std::min(
       config_.meta_rcv_buf_max, std::max(meta_rcv_capacity_, rcv_target));
+  if (meta_snd_capacity_ > old_snd || meta_rcv_capacity_ > old_rcv) {
+    ++n_autotune_resizes_;
+  }
   if (meta_rcv_capacity_ > old_rcv) maybe_send_meta_window_update();
 }
 

@@ -26,6 +26,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/coupled_cc.h"
@@ -111,6 +112,13 @@ class MptcpConnection final : public StreamSocket {
   };
   const MetaStats& meta_stats() const { return meta_stats_; }
 
+  /// Scope prefix of this connection in the loop's StatsRegistry
+  /// ("mptcp.client", "mptcp.server#2", ...); subflows publish under
+  /// "<scope>.sf<id>".
+  const std::string& stats_scope() const { return stats_scope_; }
+  /// Called by subflows for every DSS mapping they emit.
+  void count_dss_mapping() { ++n_dss_mappings_; }
+
   MptcpStack& stack() { return stack_; }
   const MptcpConfig& config() const { return config_; }
 
@@ -163,6 +171,7 @@ class MptcpConnection final : public StreamSocket {
   void schedule();
 
  private:
+  void register_stats();
   void init_client_keys();
   void fallback_to_tcp(const char* reason);
   void deliver_in_order(std::vector<uint8_t> bytes);
@@ -251,6 +260,20 @@ class MptcpConnection final : public StreamSocket {
   SimTime last_autotune_ = 0;
 
   MetaStats meta_stats_;
+
+  // Observability (net/stats.h): hot paths bump these plain fields; the
+  // registry reads them only at export, through ONE sampled_group entry
+  // per connection (register_stats()), removed wholesale by the
+  // destructor. Connection churn therefore costs one registry insert and
+  // one erase, however many values the scope exposes.
+  std::string stats_scope_;
+  uint64_t n_scheduler_picks_ = 0;
+  uint64_t n_dss_mappings_ = 0;
+  uint64_t n_data_ack_advances_ = 0;
+  uint64_t n_data_acked_bytes_ = 0;
+  uint64_t n_window_stalls_ = 0;
+  uint64_t n_autotune_resizes_ = 0;
+
   bool closed_notified_ = false;
   bool connected_notified_ = false;
   bool fastclose_sent_ = false;

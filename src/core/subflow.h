@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/dss.h"
@@ -102,6 +103,12 @@ class MptcpSubflow final : public TcpConnection {
     return rx_mappings_.unmapped_bytes();
   }
 
+  /// Registry prefix for this subflow ("<meta scope>.sf<id>").
+  const std::string& stats_scope() const { return stats_scope_; }
+
+  /// The meta scheduler chose this subflow for a chunk of data.
+  void note_scheduler_pick() { ++n_picks_; }
+
  protected:
   // --- TcpConnection hooks --------------------------------------------------
   void build_syn_options(std::vector<TcpOption>& opts) override;
@@ -121,6 +128,7 @@ class MptcpSubflow final : public TcpConnection {
   size_t clamp_segment_len(uint64_t seq, size_t len) const override;
 
  private:
+  void register_stats();
   void handle_mp_capable(const MpCapableOption& mpc, const TcpSegment& seg);
   void handle_mp_join(const MpJoinOption& mpj, const TcpSegment& seg);
   void handle_dss(const DssOption& dss, const TcpSegment& seg);
@@ -149,6 +157,10 @@ class MptcpSubflow final : public TcpConnection {
   std::optional<uint64_t> announce_data_fin_;
   std::vector<TcpOption> pending_control_options_;
   Timer fallback_check_timer_;
+
+  std::string stats_scope_;
+  uint64_t n_mappings_ = 0;  ///< DSS mappings created on this subflow
+  uint64_t n_picks_ = 0;     ///< times the scheduler chose us
 };
 
 }  // namespace mptcp

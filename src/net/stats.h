@@ -1,0 +1,174 @@
+// Cross-layer observability: a lightweight registry of named counters,
+// gauges, histograms and lazily-sampled values.
+//
+// Design rules, in order of importance:
+//  * Near-zero overhead when unread. Hot paths touch plain integers --
+//    Counter::inc() is one add, Histogram::record() is a bit_width and two
+//    adds. Anything that costs more (walking data structures, formatting)
+//    happens only at export time, via sampled() callbacks.
+//  * Deterministic export. Entries live in an ordered map keyed by name,
+//    so two identical runs serialize byte-identical JSON -- the property
+//    the determinism digest (app/digest.h) and CI lean on.
+//  * Explicit lifetime. Components that register callbacks reading their
+//    own state must remove_scope() them before dying; the registry never
+//    guesses. Scopes handed out by unique_scope() make per-instance
+//    prefixes collision-free ("sim.link.wifi-up", "sim.link.wifi-up#2").
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace mptcp {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_ += n; }
+  uint64_t value() const { return v_; }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+/// Instantaneous signed level (queue depths, occupancy).
+class Gauge {
+ public:
+  void set(int64_t v) { v_ = v; }
+  void add(int64_t d) { v_ += d; }
+  int64_t value() const { return v_; }
+
+ private:
+  int64_t v_ = 0;
+};
+
+/// Power-of-two bucketed histogram of non-negative values. Bucket 0 holds
+/// zeros; bucket i (i >= 1) holds values in [2^(i-1), 2^i). Recording is
+/// O(1) with no allocation, so it is safe on per-packet paths.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void record(uint64_t v) {
+    ++buckets_[std::bit_width(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  uint64_t bucket(size_t i) const { return i < kBuckets ? buckets_[i] : 0; }
+
+  /// Upper bound (exclusive, a power of two) of the bucket where the p-th
+  /// fraction of samples falls; p in [0, 1].
+  uint64_t approx_percentile(double p) const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Export-time receiver for sampled_group() callbacks: the group emits
+/// (name, value) pairs relative to its scope.
+class SampleSink {
+ public:
+  virtual void emit(std::string_view name, double value) = 0;
+
+ protected:
+  ~SampleSink() = default;
+};
+
+class StatsRegistry {
+ public:
+  /// Read at export time only; must stay valid until removed.
+  using SampleFn = std::function<double()>;
+  using GroupFn = std::function<void(SampleSink&)>;
+
+  /// Returns the counter/gauge/histogram registered under `name`, creating
+  /// it on first use. References stay valid until the entry is removed.
+  /// Looking up an existing name allocates nothing.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Registers a value sampled lazily at export time. Replaces any
+  /// previous entry under the same name.
+  void sampled(const std::string& name, SampleFn fn);
+
+  /// Registers a whole scope's worth of sampled values behind ONE map
+  /// entry: at export the callback emits (suffix, value) pairs which
+  /// appear as "<scope>.<suffix>". This is the registration path for
+  /// short-lived instances (connections, subflows) -- one insert at
+  /// birth, one erase at death, regardless of how many values the scope
+  /// exposes. value("<scope>.<suffix>") resolves through the group too.
+  void sampled_group(const std::string& scope, GroupFn fn);
+
+  /// Reserves a collision-free scope prefix: the first caller gets `base`,
+  /// later callers get "base#2", "base#3", ... (deterministic in
+  /// registration order). The '#' separator guarantees that
+  /// remove_scope("base") never touches "base#2.*" entries.
+  std::string unique_scope(const std::string& base);
+
+  /// Removes the entry named `scope` and every entry under "scope.".
+  /// Returns how many entries were dropped.
+  size_t remove_scope(std::string_view scope);
+  void remove(std::string_view name);
+
+  bool contains(std::string_view name) const;
+  size_t size() const { return entries_.size(); }
+
+  /// Lookup helpers (mostly for tests); null when absent or of another kind.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Current numeric value of a flat key as flatten() would produce it
+  /// (histograms contribute "name.count" etc.); 0 when absent.
+  double value(std::string_view flat_key) const;
+
+  /// Flat deterministic view: counters/gauges/sampled map to one key each,
+  /// histograms expand to name.{count,sum,min,max,mean}, sampled groups
+  /// to "<scope>.<suffix>" per emitted pair.
+  std::map<std::string, double> flatten() const;
+
+  /// One flat JSON object, keys sorted, doubles printed round-trippably.
+  std::string to_json() const;
+
+  /// Parses the exact shape to_json() emits (also tolerates the flat JSON
+  /// the benchmarks write). Malformed input yields the pairs parsed so far.
+  static std::map<std::string, double> parse_flat_json(std::string_view json);
+
+ private:
+  struct Entry {
+    // Exactly one of these is set. unique_ptr keeps addresses stable
+    // across map rebalancing and registry growth.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> hist;
+    SampleFn fn;
+    GroupFn group;
+  };
+
+  Entry& entry(std::string_view name);
+
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, int, std::less<>> scope_counts_;
+};
+
+}  // namespace mptcp

@@ -4,6 +4,21 @@
 
 namespace mptcp {
 
+EventLoop::EventLoop() {
+  stats_.sampled("sim.events_scheduled",
+                 [this] { return static_cast<double>(ev_scheduled_); });
+  stats_.sampled("sim.events_cancelled",
+                 [this] { return static_cast<double>(ev_cancelled_); });
+  stats_.sampled("sim.events_fired",
+                 [this] { return static_cast<double>(ev_fired_); });
+  stats_.sampled("sim.heap_compactions",
+                 [this] { return static_cast<double>(compactions_); });
+  stats_.sampled("sim.events_live",
+                 [this] { return static_cast<double>(live_); });
+  stats_.sampled("sim.now_ns",
+                 [this] { return static_cast<double>(now_); });
+}
+
 uint32_t EventLoop::alloc_slot() {
   if (free_head_ != kNilSlot) {
     const uint32_t s = free_head_;
@@ -64,6 +79,7 @@ void EventLoop::maybe_compact() {
   // sweep over at least ~n/2 cancellations, keeping scheduling O(log n)
   // amortized while bounding memory at O(live).
   if (heap_.size() < 64 || heap_.size() < 4 * live_) return;
+  ++compactions_;
   size_t kept = 0;
   for (size_t i = 0; i < heap_.size(); ++i) {
     if (entry_live(heap_[i])) heap_[kept++] = heap_[i];
@@ -81,6 +97,7 @@ EventLoop::EventId EventLoop::schedule_at(SimTime t, Callback cb) {
   heap_.push_back(HeapEntry{t, next_seq_++, s, slots_[s].gen});
   sift_up(heap_.size() - 1);
   ++live_;
+  ++ev_scheduled_;
   return (static_cast<EventId>(slots_[s].gen) << 32) | s;
 }
 
@@ -90,6 +107,7 @@ void EventLoop::cancel(EventId id) {
   if (gen == 0 || s >= slots_.size() || slots_[s].gen != gen) return;
   free_slot(s);
   --live_;
+  ++ev_cancelled_;
   maybe_compact();
 }
 
@@ -102,6 +120,7 @@ bool EventLoop::run_one() {
     Callback cb = std::move(slots_[e.slot].cb);
     free_slot(e.slot);
     --live_;
+    ++ev_fired_;
     now_ = e.t;
     cb();
     return true;

@@ -19,6 +19,8 @@
 #include <functional>
 #include <vector>
 
+#include "net/stats.h"
+
 namespace mptcp {
 
 using SimTime = int64_t;  // nanoseconds
@@ -35,6 +37,10 @@ inline double to_seconds(SimTime t) {
 
 class EventLoop {
  public:
+  EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
   using Callback = std::function<void()>;
   /// Packed handle: high 32 bits are the slot's generation at schedule
   /// time, low 32 bits the slot index. Generation 0 never occurs, so a
@@ -73,6 +79,17 @@ class EventLoop {
 
   /// Runs until no events remain.
   void run();
+
+  /// The simulation-wide observability registry. Every component with a
+  /// reference to the loop publishes its counters here; hot paths only
+  /// bump plain integers, and the registry walks them at export time.
+  StatsRegistry& stats() { return stats_; }
+  const StatsRegistry& stats() const { return stats_; }
+
+  uint64_t events_scheduled() const { return ev_scheduled_; }
+  uint64_t events_cancelled() const { return ev_cancelled_; }
+  uint64_t events_fired() const { return ev_fired_; }
+  uint64_t heap_compactions() const { return compactions_; }
 
  private:
   static constexpr uint32_t kNilSlot = 0xffffffffu;
@@ -114,6 +131,14 @@ class EventLoop {
   std::vector<HeapEntry> heap_;
   uint32_t free_head_ = kNilSlot;
   size_t live_ = 0;
+
+  // Scheduling counters: plain increments on the hot path, exported via
+  // sampled registry entries installed by the constructor.
+  uint64_t ev_scheduled_ = 0;
+  uint64_t ev_cancelled_ = 0;
+  uint64_t ev_fired_ = 0;
+  uint64_t compactions_ = 0;
+  StatsRegistry stats_;
 };
 
 /// A re-armable one-shot timer bound to an EventLoop.

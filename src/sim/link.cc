@@ -8,7 +8,27 @@ Link::Link(EventLoop& loop, LinkConfig config, std::string name)
     : loop_(loop),
       config_(config),
       name_(std::move(name)),
-      rng_(config.loss_seed) {}
+      rng_(config.loss_seed) {
+  StatsRegistry& reg = loop_.stats();
+  scope_ = reg.unique_scope("sim.link." + name_);
+  reg.sampled(scope_ + ".enqueued_pkts",
+              [this] { return static_cast<double>(stats_.enqueued_pkts); });
+  reg.sampled(scope_ + ".delivered_pkts",
+              [this] { return static_cast<double>(stats_.delivered_pkts); });
+  reg.sampled(scope_ + ".delivered_bytes",
+              [this] { return static_cast<double>(stats_.delivered_bytes); });
+  reg.sampled(scope_ + ".dropped_overflow",
+              [this] { return static_cast<double>(stats_.dropped_overflow); });
+  reg.sampled(scope_ + ".dropped_loss",
+              [this] { return static_cast<double>(stats_.dropped_loss); });
+  reg.sampled(scope_ + ".dropped_down",
+              [this] { return static_cast<double>(stats_.dropped_down); });
+  reg.sampled(scope_ + ".queued_bytes",
+              [this] { return static_cast<double>(queued_bytes_); });
+  occupancy_hist_ = &reg.histogram(scope_ + ".occupancy_bytes");
+}
+
+Link::~Link() { loop_.stats().remove_scope(scope_); }
 
 void Link::deliver(TcpSegment seg) {
   if (!up_) {
@@ -25,6 +45,7 @@ void Link::deliver(TcpSegment seg) {
   }
   ++stats_.enqueued_pkts;
   queued_bytes_ += size;
+  occupancy_hist_->record(queued_bytes_);
   queue_.push_back(std::move(seg));
   if (!transmitting_) start_transmission();
 }

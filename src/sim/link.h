@@ -41,6 +41,10 @@ class Link : public PacketSink {
   };
 
   Link(EventLoop& loop, LinkConfig config, std::string name = "link");
+  ~Link() override;
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
 
   void set_target(PacketSink* target) { target_ = target; }
   PacketSink* target() const { return target_; }
@@ -61,6 +65,9 @@ class Link : public PacketSink {
   const Stats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
   size_t queued_bytes() const { return queued_bytes_; }
+  /// Registry scope this link publishes under ("sim.link.<name>", made
+  /// collision-free by the loop's registry).
+  const std::string& stats_scope() const { return scope_; }
 
  private:
   void start_transmission();
@@ -78,6 +85,8 @@ class Link : public PacketSink {
   bool transmitting_ = false;
   bool up_ = true;
   Stats stats_;
+  std::string scope_;
+  Histogram* occupancy_hist_ = nullptr;  ///< queue depth sampled per enqueue
 
   /// Segments that finished serialization and are propagating. Propagation
   /// delay is constant and departures are serialized, so arrivals are FIFO:

@@ -54,6 +54,10 @@ class CongestionControl {
   /// Mechanism 2 (penalization): halve cwnd and set ssthresh to the
   /// reduced window. The connection enforces the once-per-RTT limit.
   virtual void penalize() = 0;
+
+  /// Times the Mechanism 4 inflight cap actually shrank cwnd
+  /// (observability; 0 for controllers without the cap).
+  virtual uint64_t cap_activations() const { return 0; }
 };
 
 /// Plain NewReno, cwnd in bytes, with optional M4 inflight capping.
@@ -116,6 +120,8 @@ class NewRenoCc : public CongestionControl {
     return static_cast<uint64_t>(ssthresh_);
   }
 
+  uint64_t cap_activations() const override { return cap_activations_; }
+
   void penalize() override {
     // Guard from the reference implementation: a window already at or
     // below ssthresh has just been reduced -- halving again would crush
@@ -135,6 +141,7 @@ class NewRenoCc : public CongestionControl {
     if (srtt > 2 * min_rtt) {
       const double cap = cwnd_ * 2.0 * static_cast<double>(min_rtt) /
                          static_cast<double>(srtt);
+      if (cap < cwnd_) ++cap_activations_;
       cwnd_ = std::max(std::min(cwnd_, cap), static_cast<double>(mss_));
     }
   }
@@ -143,6 +150,7 @@ class NewRenoCc : public CongestionControl {
   uint32_t mss_ = 1460;
   double cwnd_ = 0;
   double ssthresh_ = 1e18;
+  uint64_t cap_activations_ = 0;
 };
 
 }  // namespace mptcp

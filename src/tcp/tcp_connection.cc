@@ -55,6 +55,17 @@ TcpConnection::TcpConnection(Host& host, TcpConfig config, Endpoint local,
                                        : config_.snd_buf_max;
   rcv_buf_capacity_ = config_.autotune ? config_.buf_initial
                                        : config_.rcv_buf_max;
+
+  StatsRegistry& reg = host_.loop().stats();
+  ct_segments_sent_ = &reg.counter("tcp.segments_sent");
+  ct_segments_received_ = &reg.counter("tcp.segments_received");
+  ct_retransmits_ = &reg.counter("tcp.retransmits");
+  ct_fast_retransmits_ = &reg.counter("tcp.fast_retransmits");
+  ct_rto_firings_ = &reg.counter("tcp.rto_firings");
+  ct_persist_probes_ = &reg.counter("tcp.persist_probes");
+  ct_rwnd_stalls_ = &reg.counter("tcp.rwnd_stalls");
+  hist_cwnd_ = &reg.histogram("tcp.cwnd_bytes");
+  hist_ssthresh_ = &reg.histogram("tcp.ssthresh_bytes");
 }
 
 TcpConnection::~TcpConnection() {
@@ -222,6 +233,7 @@ void TcpConnection::send_rst() {
 
 void TcpConnection::on_segment(const TcpSegment& seg) {
   ++stats_.segments_received;
+  ct_segments_received_->inc();
   if (state_ == TcpState::kClosed) return;
 
   if (const auto* ts = find_option<TimestampOption>(seg.options)) {
@@ -565,6 +577,8 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
         recovery_point_ = snd_nxt_;
         cc_->on_enter_recovery(cc_flight());
         ++stats_.fast_retransmits;
+        ct_fast_retransmits_->inc();
+        hist_ssthresh_->record(cc_->ssthresh());
         rtx_next_hint_ = snd_una_;
         const uint64_t data_end = snd_buf_.end_seq();
         if (snd_una_ < data_end) {
@@ -699,6 +713,8 @@ void TcpConnection::try_send() {
   // probe so a lost window update cannot deadlock the connection.
   if (snd_nxt_ < data_end && snd_nxt_ >= fc_limit && flight_size() == 0 &&
       !persist_timer_.armed() && flow_control_limit() != UINT64_MAX) {
+    // The peer's advertised window (not cwnd) is what is stopping us.
+    ct_rwnd_stalls_->inc();
     persist_timer_.arm_in(rtt_.rto());
   }
 }
@@ -751,6 +767,7 @@ void TcpConnection::send_data_segment(uint64_t seq, size_t len,
 
   if (retransmission) {
     ++stats_.retransmits;
+    ct_retransmits_->inc();
     rtx_out_ += len;
     // Karn: invalidate any RTT sample overlapping this range.
     if (rtt_sample_pending_ && rtt_sample_end_seq_ > seq) {
@@ -818,6 +835,7 @@ void TcpConnection::send_segment(TcpSegment seg) {
     break;  // nothing droppable left; carry the oversized set in-sim
   }
   ++stats_.segments_sent;
+  ct_segments_sent_->inc();
   host_.send(std::move(seg));
 }
 
@@ -850,6 +868,7 @@ void TcpConnection::on_rto() {
     rtt_.on_timeout();
     rtt_sample_pending_ = false;  // Karn: retransmitted SYN is not sampled
     ++stats_.timeouts;
+    ct_rto_firings_->inc();
     send_syn(with_options);
     rto_timer_.arm_in(rtt_.rto());
     return;
@@ -861,6 +880,7 @@ void TcpConnection::on_rto() {
     }
     rtt_.on_timeout();
     ++stats_.timeouts;
+    ct_rto_firings_->inc();
     send_synack();
     rto_timer_.arm_in(rtt_.rto());
     return;
@@ -877,8 +897,10 @@ void TcpConnection::on_rto() {
   }
 
   ++stats_.timeouts;
+  ct_rto_firings_->inc();
   rtt_.on_timeout();
   cc_->on_timeout(flight_size());
+  hist_ssthresh_->record(cc_->ssthresh());
   in_recovery_ = false;
   dupack_count_ = 0;
   rtt_sample_pending_ = false;
@@ -907,6 +929,7 @@ void TcpConnection::on_rto() {
   } else {
     // Only the FIN is outstanding: resend it through the normal path.
     ++stats_.retransmits;
+    ct_retransmits_->inc();
     maybe_send_fin();
   }
   rto_timer_.arm_in(rtt_.rto());
@@ -919,6 +942,7 @@ void TcpConnection::on_persist() {
     return;
   }
   ++stats_.persist_probes;
+  ct_persist_probes_->inc();
   // Send one byte beyond the window; the peer will re-ack with its
   // current window.
   send_data_segment(snd_nxt_, 1, /*retransmission=*/false);
@@ -998,6 +1022,9 @@ void TcpConnection::take_rtt_sample_if_valid(uint64_t acked_through) {
   if (rtt_sample_pending_ && acked_through >= rtt_sample_end_seq_) {
     rtt_.add_sample(loop().now() - rtt_sample_sent_at_);
     rtt_sample_pending_ = false;
+    // One cwnd sample per successful RTT measurement: frequent enough to
+    // trace window dynamics, rare enough to stay off the per-ACK path.
+    hist_cwnd_->record(cc_->cwnd());
   }
 }
 

@@ -322,6 +322,20 @@ class TcpConnection : public SegmentHandler, public StreamSocket {
   Stats stats_;
   bool bound_ = false;
   bool closed_notified_ = false;
+
+  // Host-loop-wide aggregate observability (net/stats.h), shared by every
+  // connection on the loop and cached as pointers so the hot paths pay a
+  // single indirected increment. The per-connection Stats struct above
+  // stays the source of per-connection truth.
+  Counter* ct_segments_sent_ = nullptr;
+  Counter* ct_segments_received_ = nullptr;
+  Counter* ct_retransmits_ = nullptr;
+  Counter* ct_fast_retransmits_ = nullptr;
+  Counter* ct_rto_firings_ = nullptr;
+  Counter* ct_persist_probes_ = nullptr;
+  Counter* ct_rwnd_stalls_ = nullptr;
+  Histogram* hist_cwnd_ = nullptr;      ///< sampled once per RTT measurement
+  Histogram* hist_ssthresh_ = nullptr;  ///< sampled on every reduction
 };
 
 /// Accepts incoming SYNs on a port and spawns connections via a factory.
