@@ -101,22 +101,18 @@ void fairness_ablation() {
       mp.open_subflow(rig.client_addr(0), Endpoint{rig.server_addr(), 80});
     });
 
-    // Competing plain TCP flow.
-    TcpConfig tcfg;
-    tcfg.snd_buf_max = tcfg.rcv_buf_max = 512 * 1024;
-    std::unique_ptr<TcpConnection> tcp_srv;
+    // Competing plain TCP flow, via a kTcp factory pair.
+    TransportConfig ttc;
+    ttc.kind = TransportKind::kTcp;
+    ttc.mptcp.tcp.snd_buf_max = ttc.mptcp.tcp.rcv_buf_max = 512 * 1024;
+    SocketFactory tcp_cf(rig.client(), ttc), tcp_sf(rig.server(), ttc);
     std::unique_ptr<BulkReceiver> tcp_rx;
-    TcpListener lis(rig.server(), 81, [&](const TcpSegment& syn) {
-      tcp_srv = std::make_unique<TcpConnection>(rig.server(), tcfg,
-                                                syn.tuple.dst, syn.tuple.src);
-      tcp_rx = std::make_unique<BulkReceiver>(*tcp_srv, false);
-      tcp_srv->accept_syn(syn);
+    tcp_sf.listen(81, [&](StreamSocket& s) {
+      tcp_rx = std::make_unique<BulkReceiver>(s, false);
     });
-    TcpConnection tcp_cli(rig.client(), tcfg,
-                          Endpoint{rig.client_addr(0), 39000},
-                          Endpoint{rig.server_addr(), 81});
+    StreamSocket& tcp_cli =
+        tcp_cf.connect(rig.client_addr(0), Endpoint{rig.server_addr(), 81});
     BulkSender tcp_tx(tcp_cli, 0);
-    tcp_cli.connect();
 
     rig.loop().run_until(5 * kSecond);
     const uint64_t m0 = mp_rx->bytes_received(), t0 = tcp_rx->bytes_received();

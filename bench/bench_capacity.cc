@@ -1,0 +1,183 @@
+// Scale-out capacity benchmark: how many concurrent MPTCP connections the
+// stack sustains over a shared-bottleneck multi-host topology, and what
+// flow completion times the churn traffic sees while it does.
+//
+// Scenario (app/workload.h): N dual-homed client hosts fan into two
+// aggregation routers whose uplinks to a core router are the shared
+// bottlenecks; M servers hang off the core. Two traffic classes:
+//
+//   * "bulk": persistent connections (P per client host) that stay open
+//     for the whole run, each fetching an effectively infinite response --
+//     these are the sustained-concurrency load;
+//   * "churn": Poisson arrivals per client host with exponentially
+//     distributed sizes -- these measure completion times under that load.
+//
+// The full-scale run (50 clients x 100 persistent = 5000+ concurrent
+// MPTCP connections, each with a subflow per bottleneck) self-checks the
+// concurrency floor and writes BENCH_capacity.json. A --smoke run
+// executes only the reduced scale whose smoke_* keys the CI gate compares
+// against the tracked baseline (bench/check_bench.py; *_us keys are
+// informational). The whole run is deterministic: CI also digests the
+// same topology twice via `sim_digest --scenario capacity`.
+//
+// Usage: bench_capacity [--smoke] [OUTPUT.json]
+#include <cstdio>
+#include <cstring>
+
+#include "app/workload.h"
+#include "bench_util.h"
+
+using namespace mptcp;
+using namespace mptcp::bench;
+
+namespace {
+
+struct ScaleSpec {
+  const char* name;
+  size_t clients;
+  size_t servers;
+  size_t persistent_per_client;
+  double churn_hz;            ///< churn arrivals per client host
+  double bottleneck_bps;      ///< per bottleneck link (there are two)
+  SimTime duration;
+};
+
+constexpr ScaleSpec kFull = {"full", 50, 4, 100, 10.0, 2e9, 3 * kSecond};
+constexpr ScaleSpec kSmoke = {"smoke", 8, 2, 40, 10.0, 500e6,
+                              2500 * kMillisecond};
+
+struct ScaleResult {
+  double peak_concurrent = 0;
+  double churn_completed = 0;
+  double goodput_mbps = 0;
+  double fct_p50_us = 0;
+  double fct_p99_us = 0;
+  double errors = 0;
+};
+
+TransportConfig capacity_transport(size_t meta_buf, size_t tcp_buf,
+                                   uint64_t seed) {
+  TransportConfig tc;
+  tc.mptcp.meta_snd_buf_max = tc.mptcp.meta_rcv_buf_max = meta_buf;
+  tc.mptcp.tcp.snd_buf_max = tc.mptcp.tcp.rcv_buf_max = tcp_buf;
+  // Controlled-environment setting (paper Fig. 3): no DSS checksums.
+  tc.mptcp.dss_checksum = false;
+  tc.mptcp.tcp.seed = seed;
+  return tc;
+}
+
+ScaleResult run_scale(const ScaleSpec& spec, uint64_t seed) {
+  CapacitySpec top;
+  top.clients = spec.clients;
+  top.servers = spec.servers;
+  top.bottleneck_rate_bps = spec.bottleneck_bps;
+  CapacityTopology cap = build_capacity_topology(top, seed);
+  Topology& topo = *cap.topo;
+
+  WorkloadConfig wc;
+  wc.clients = cap.clients;
+  wc.servers = cap.servers;
+  wc.seed = seed;
+
+  // Class 0: the persistent concurrency load. Small buffers: with
+  // thousands of connections sharing one bottleneck, each gets a sliver
+  // of bandwidth and big buffers would only burn memory.
+  FlowClass bulk;
+  bulk.name = "bulk";
+  bulk.arrival_rate_hz = 0;
+  bulk.persistent_per_client = spec.persistent_per_client;
+  bulk.transport = capacity_transport(16 * 1024, 8 * 1024, seed);
+  wc.classes.push_back(bulk);
+
+  // Class 1: the churn whose completion times we measure.
+  FlowClass churn;
+  churn.name = "churn";
+  churn.arrival_rate_hz = spec.churn_hz;
+  churn.size_dist = FlowClass::SizeDist::kExponential;
+  churn.mean_size = 20 * 1000;
+  churn.min_size = 1000;
+  churn.max_size = 1000 * 1000;
+  churn.transport = capacity_transport(64 * 1024, 32 * 1024, seed ^ 0x5bd1);
+  wc.classes.push_back(churn);
+
+  WorkloadEngine engine(topo, wc);
+  engine.start();
+  topo.loop().run_until(spec.duration);
+
+  ScaleResult out;
+  out.peak_concurrent = static_cast<double>(engine.peak_concurrent());
+  out.churn_completed = static_cast<double>(engine.completed(1));
+  const double total_bytes = static_cast<double>(engine.bytes_received(0) +
+                                                 engine.bytes_received(1));
+  out.goodput_mbps =
+      total_bytes * 8.0 / to_seconds(spec.duration) / 1e6;
+  out.fct_p50_us = topo.stats().value("workload.churn.fct_p50_us");
+  out.fct_p99_us = topo.stats().value("workload.churn.fct_p99_us");
+  out.errors = static_cast<double>(engine.errors(0) + engine.errors(1));
+
+  std::printf("# %s: %zu clients x %zu persistent + %.0f/s churn, "
+              "2 x %.0f Mbps bottlenecks, %.1f s\n",
+              spec.name, spec.clients, spec.persistent_per_client,
+              spec.churn_hz * static_cast<double>(spec.clients),
+              spec.bottleneck_bps / 1e6, to_seconds(spec.duration));
+  std::printf("%-24s %12.0f\n", "peak_concurrent", out.peak_concurrent);
+  std::printf("%-24s %12.0f\n", "churn_completed", out.churn_completed);
+  std::printf("%-24s %12.1f\n", "goodput_mbps", out.goodput_mbps);
+  std::printf("%-24s %12.0f\n", "fct_p50_us", out.fct_p50_us);
+  std::printf("%-24s %12.0f\n", "fct_p99_us", out.fct_p99_us);
+  std::printf("%-24s %12.0f\n\n", "errors", out.errors);
+  return out;
+}
+
+void append_fields(std::vector<std::pair<std::string, double>>& fields,
+                   const std::string& prefix, const ScaleResult& r) {
+  fields.emplace_back(prefix + "peak_concurrent", r.peak_concurrent);
+  fields.emplace_back(prefix + "churn_completed", r.churn_completed);
+  fields.emplace_back(prefix + "goodput_mbps", r.goodput_mbps);
+  fields.emplace_back(prefix + "fct_p50_us", r.fct_p50_us);
+  fields.emplace_back(prefix + "fct_p99_us", r.fct_p99_us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke_only = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke_only = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  WallTimer wall;
+  std::vector<std::pair<std::string, double>> fields;
+
+  const ScaleResult smoke = run_scale(kSmoke, /*seed=*/1);
+  append_fields(fields, "smoke_", smoke);
+
+  bool ok = true;
+  if (!smoke_only) {
+    const ScaleResult full = run_scale(kFull, /*seed=*/1);
+    append_fields(fields, "capacity_", full);
+    // The acceptance floor: a full-scale run must sustain >= 5000
+    // concurrent connections.
+    if (full.peak_concurrent < 5000) {
+      std::fprintf(stderr,
+                   "FAIL: peak_concurrent %.0f < 5000 at full scale\n",
+                   full.peak_concurrent);
+      ok = false;
+    }
+  }
+  fields.emplace_back("wall_seconds_total", wall.seconds());
+
+  if (!out_path.empty()) {
+    if (!write_json(out_path, fields)) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -151,7 +151,7 @@ class CountingSink : public PacketSink {
 double bench_split_segments_per_sec(uint64_t inputs) {
   SegmentSplitter splitter(/*mtu_payload=*/512);
   CountingSink sink;
-  splitter.set_target(&sink);
+  splitter.set_downstream(&sink);
   const TcpSegment proto = make_data_segment();
   WallTimer w;
   for (uint64_t i = 0; i < inputs; ++i) {

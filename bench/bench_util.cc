@@ -97,38 +97,37 @@ RunResult run_tcp(const RunConfig& cfg, size_t path_index) {
   TwoHostRig rig(cfg.seed);
   for (const auto& p : cfg.paths) rig.add_path(p);
 
-  TcpConfig tcp;
-  tcp.snd_buf_max = cfg.buffer_bytes;
-  tcp.rcv_buf_max = cfg.buffer_bytes;
-  tcp.autotune = cfg.variant.m3_autotune;
-  tcp.seed = cfg.seed;
+  TransportConfig tc;
+  tc.kind = TransportKind::kTcp;
+  tc.mptcp.tcp.snd_buf_max = cfg.buffer_bytes;
+  tc.mptcp.tcp.rcv_buf_max = cfg.buffer_bytes;
+  tc.mptcp.tcp.autotune = cfg.variant.m3_autotune;
+  tc.mptcp.tcp.seed = cfg.seed;
+  SocketFactory client_factory(rig.client(), tc);
+  SocketFactory server_factory(rig.server(), tc);
 
-  std::unique_ptr<TcpConnection> server_conn;
+  TcpConnection* server_conn = nullptr;
   std::unique_ptr<BulkReceiver> bulk_rx;
   std::unique_ptr<BlockReceiver> block_rx;
-  TcpListener listener(rig.server(), 80, [&](const TcpSegment& syn) {
-    server_conn = std::make_unique<TcpConnection>(rig.server(), tcp,
-                                                  syn.tuple.dst,
-                                                  syn.tuple.src);
+  server_factory.listen(80, [&](StreamSocket& s) {
+    server_conn = server_factory.as_tcp(s);
     if (cfg.measure_block_delay) {
-      block_rx = std::make_unique<BlockReceiver>(rig.loop(), *server_conn);
+      block_rx = std::make_unique<BlockReceiver>(rig.loop(), s);
     } else {
-      bulk_rx = std::make_unique<BulkReceiver>(*server_conn, false);
+      bulk_rx = std::make_unique<BulkReceiver>(s, false);
     }
-    server_conn->accept_syn(syn);
   });
 
-  TcpConnection client(rig.client(), tcp,
-                       Endpoint{rig.client_addr(path_index), 40000},
-                       Endpoint{rig.server_addr(), 80});
+  StreamSocket& client_sock = client_factory.connect(
+      rig.client_addr(path_index), Endpoint{rig.server_addr(), 80});
+  TcpConnection& client = *client_factory.as_tcp(client_sock);
   std::unique_ptr<BulkSender> bulk_tx;
   std::unique_ptr<BlockSender> block_tx;
   if (cfg.measure_block_delay) {
-    block_tx = std::make_unique<BlockSender>(rig.loop(), client);
+    block_tx = std::make_unique<BlockSender>(rig.loop(), client_sock);
   } else {
-    bulk_tx = std::make_unique<BulkSender>(client, 0);
+    bulk_tx = std::make_unique<BulkSender>(client_sock, 0);
   }
-  client.connect();
 
   rig.loop().run_until(cfg.warmup);
   const uint64_t rx0 = cfg.measure_block_delay

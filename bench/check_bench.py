@@ -2,10 +2,11 @@
 """Compare a fresh benchmark JSON against a tracked baseline.
 
 Both files are flat {"metric": number} objects (the shape bench_hotpath
-writes). Every metric is treated as higher-is-better; a metric that fell
-below baseline * (1 - tolerance) is a regression and fails the check.
-Metrics measuring cost rather than rate (wall_seconds_total) are skipped,
-as are metrics present in only one file.
+and bench_capacity write). Every metric is treated as higher-is-better; a
+metric that fell below baseline * (1 - tolerance) is a regression and
+fails the check. Metrics measuring cost rather than rate
+(wall_seconds_total, latency metrics ending in _us) are reported but not
+gated, as are metrics present in only one file.
 
 Usage: check_bench.py BASELINE NEW [--tolerance 0.30]
 Exit status: 0 ok, 1 regression, 2 usage/IO error.
@@ -16,6 +17,14 @@ import json
 import sys
 
 SKIP = {"wall_seconds_total"}
+# Lower-is-better latency metrics: tracked for visibility, never gated
+# (completion times shift with workload tuning; goodput/concurrency are
+# the gated signals).
+SKIP_SUFFIXES = ("_us",)
+
+
+def gated(key: str) -> bool:
+    return key not in SKIP and not key.endswith(SKIP_SUFFIXES)
 
 
 def main() -> int:
@@ -38,7 +47,7 @@ def main() -> int:
 
     shared = sorted(
         k for k in base
-        if k in new and k not in SKIP
+        if k in new and gated(k)
         and isinstance(base[k], (int, float))
         and isinstance(new[k], (int, float))
     )
@@ -57,7 +66,12 @@ def main() -> int:
 
     only = sorted((set(base) | set(new)) - set(shared) - SKIP)
     for k in only:
-        print(f"{'skipped':>10}  {k:<28} (not in both files)")
+        if k in base and k in new:
+            note = "tracked, not gated"
+            print(f"{'skipped':>10}  {k:<28} base={base[k]:<12.6g} "
+                  f"new={new[k]:<12.6g} ({note})")
+        else:
+            print(f"{'skipped':>10}  {k:<28} (not in both files)")
 
     return 1 if failed else 0
 

@@ -35,11 +35,11 @@ Host::CpuConfig server_cpu() {
   return cpu;
 }
 
-MptcpConfig http_config(bool mptcp_enabled) {
-  MptcpConfig cfg;
-  cfg.enabled = mptcp_enabled;
-  cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 128 * 1024;
-  cfg.tcp.time_wait = 10 * kMillisecond;  // busy-server tuning
+TransportConfig http_config(bool mptcp_enabled) {
+  TransportConfig cfg;
+  cfg.kind = mptcp_enabled ? TransportKind::kMptcp : TransportKind::kTcp;
+  cfg.mptcp.meta_snd_buf_max = cfg.mptcp.meta_rcv_buf_max = 128 * 1024;
+  cfg.mptcp.tcp.time_wait = 10 * kMillisecond;  // busy-server tuning
   return cfg;
 }
 
@@ -51,8 +51,8 @@ double run_two_path(bool mptcp_enabled, uint64_t size) {
                              2 * kMillisecond));
   rig.server().set_cpu(server_cpu());
 
-  MptcpStack cs(rig.client(), http_config(mptcp_enabled));
-  MptcpStack ss(rig.server(), http_config(mptcp_enabled));
+  SocketFactory cs(rig.client(), http_config(mptcp_enabled));
+  SocketFactory ss(rig.server(), http_config(mptcp_enabled));
   HttpServer server(ss, 80);
   HttpClientPool pool(cs, rig.client_addr(0), Endpoint{rig.server_addr(), 80},
                       kClients, size);
@@ -92,8 +92,8 @@ double run_bonding(uint64_t size) {
   net.attach(saddr, &server);
   server.set_cpu(server_cpu());
 
-  MptcpStack cs(client, http_config(false));
-  MptcpStack ss(server, http_config(false));
+  SocketFactory cs(client, http_config(false));
+  SocketFactory ss(server, http_config(false));
   HttpServer http(ss, 80);
   HttpClientPool pool(cs, caddr, Endpoint{saddr, 80}, kClients, size);
   pool.start();

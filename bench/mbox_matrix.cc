@@ -102,7 +102,7 @@ int main() {
     static OptionStripper strip(OptionStripper::Scope::kSynOnly,
                                 OptionStripper::What::kMpCapable);
     Outcome o = run_case(2, [](TwoHostRig& rig) {
-      rig.splice_up(0, &strip, [&](PacketSink* t) { strip.set_target(t); });
+      rig.splice_up(0, strip);
     });
     report("strip MP_CAPABLE from SYN", o);
   }
@@ -112,9 +112,8 @@ int main() {
     static OptionStripper strip2(OptionStripper::Scope::kNonSynOnly,
                                  OptionStripper::What::kAllMptcp);
     Outcome o = run_case(1, [](TwoHostRig& rig) {
-      rig.splice_up(0, &strip, [&](PacketSink* t) { strip.set_target(t); });
-      rig.splice_down(0, &strip2,
-                      [&](PacketSink* t) { strip2.set_target(t); });
+      rig.splice_up(0, strip);
+      rig.splice_down(0, strip2);
     });
     report("strip options from data pkts", o);
   }
@@ -122,35 +121,32 @@ int main() {
     static OptionStripper strip(OptionStripper::Scope::kSynOnly,
                                 OptionStripper::What::kMpJoin);
     Outcome o = run_case(2, [](TwoHostRig& rig) {
-      rig.splice_up(1, &strip, [&](PacketSink* t) { strip.set_target(t); });
+      rig.splice_up(1, strip);
     });
     report("strip MP_JOIN (join path)", o);
   }
   {
     static SeqRewriter rw;
     Outcome o = run_case(2, [](TwoHostRig& rig) {
-      rig.splice_up(0, &rw.forward_sink(),
-                    [&](PacketSink* t) { rw.set_forward_target(t); });
-      rig.splice_down(0, &rw.reverse_sink(),
-                      [&](PacketSink* t) { rw.set_reverse_target(t); });
+      rig.splice_up(0, rw.forward_sink());
+      rig.splice_down(0, rw.reverse_sink());
     });
     report("ISN rewriting firewall", o);
   }
   {
     static Nat nat(IpAddr(192, 0, 2, 1));
     Outcome o = run_case(2, [](TwoHostRig& rig) {
-      rig.splice_up(1, &nat.forward_sink(),
-                    [&](PacketSink* t) { nat.set_forward_target(t); });
+      rig.splice_up(1, nat.forward_sink());
       rig.route_server_to(nat.public_addr(), 1);
       rig.network().attach(nat.public_addr(), &nat.reverse_sink());
-      nat.set_reverse_target(&rig.network());
+      nat.reverse_sink().set_downstream(&rig.network());
     });
     report("NAT on join path", o);
   }
   {
     static SegmentSplitter split(536);
     Outcome o = run_case(2, [](TwoHostRig& rig) {
-      rig.splice_up(0, &split, [&](PacketSink* t) { split.set_target(t); });
+      rig.splice_up(0, split);
     });
     report("TSO-style segment splitting", o);
   }
@@ -159,39 +155,36 @@ int main() {
     Outcome o = run_case(2, [](TwoHostRig& rig) {
       coalesce = std::make_unique<SegmentCoalescer>(rig.loop(),
                                                     5 * kMillisecond);
-      rig.splice_up(0, coalesce.get(),
-                    [&](PacketSink* t) { coalesce->set_target(t); });
+      rig.splice_up(0, *coalesce);
     });
     report("coalescing traffic normalizer", o);
   }
   {
     static ProactiveAcker proxy;
     Outcome o = run_case(2, [](TwoHostRig& rig) {
-      rig.splice_up(0, &proxy.forward_sink(),
-                    [&](PacketSink* t) { proxy.set_forward_target(t); });
-      proxy.set_reverse_target(&rig.network());
+      rig.splice_up(0, proxy.forward_sink());
+      proxy.reverse_sink().set_downstream(&rig.network());
     });
     report("pro-active ACKing proxy", o);
   }
   {
     static PayloadModifier alg(3);
     Outcome o = run_case(2, [](TwoHostRig& rig) {
-      rig.splice_up(1, &alg, [&](PacketSink* t) { alg.set_target(t); });
+      rig.splice_up(1, alg);
     });
     report("payload-modifying ALG (1 of 2)", o);
   }
   {
     static PayloadModifier alg(5);
     Outcome o = run_case(1, [](TwoHostRig& rig) {
-      rig.splice_up(0, &alg, [&](PacketSink* t) { alg.set_target(t); });
+      rig.splice_up(0, alg);
     });
     report("payload-modifying ALG (only path)", o);
   }
   {
     static HoleDropper dropper;
     Outcome o = run_case(2, [](TwoHostRig& rig) {
-      rig.splice_up(0, &dropper,
-                    [&](PacketSink* t) { dropper.set_target(t); });
+      rig.splice_up(0, dropper);
     });
     report("data-after-hole dropper", o);
   }

@@ -1,8 +1,9 @@
-// Prints the determinism digest of the fixed-seed Fig. 6 scenario (see
+// Prints the determinism digest of a fixed-seed scenario (see
 // src/app/digest.h). CI runs this twice and diffs the output; a mismatch
 // means the simulation is no longer a pure function of its seed.
 //
-// Usage: sim_digest [--seed N] [--duration-ms M] [--stats FILE]
+// Usage: sim_digest [--scenario two-host|capacity] [--seed N]
+//                   [--duration-ms M] [--stats FILE]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,9 +22,20 @@ int main(int argc, char** argv) {
                      mptcp::kMillisecond;
     } else if (std::strcmp(argv[i], "--stats") == 0 && i + 1 < argc) {
       stats_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      if (std::strcmp(name, "two-host") == 0) {
+        cfg.scenario = mptcp::DigestScenario::kTwoHost;
+      } else if (std::strcmp(name, "capacity") == 0) {
+        cfg.scenario = mptcp::DigestScenario::kCapacity;
+      } else {
+        std::fprintf(stderr, "unknown scenario '%s'\n", name);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seed N] [--duration-ms M] [--stats FILE]\n",
+                   "usage: %s [--scenario two-host|capacity] [--seed N] "
+                   "[--duration-ms M] [--stats FILE]\n",
                    argv[0]);
       return 2;
     }

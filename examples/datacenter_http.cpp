@@ -8,7 +8,7 @@
 
 #include "app/harness.h"
 #include "app/http_app.h"
-#include "core/mptcp_stack.h"
+#include "app/socket_factory.h"
 
 using namespace mptcp;
 
@@ -22,12 +22,12 @@ double run(bool use_mptcp, uint64_t file_size) {
   cpu.per_segment = 8 * kMicrosecond;  // single-core server model
   rig.server().set_cpu(cpu);
 
-  MptcpConfig cfg;
-  cfg.enabled = use_mptcp;
-  cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 128 * 1024;
-  cfg.tcp.time_wait = 10 * kMillisecond;
-  MptcpStack client_stack(rig.client(), cfg);
-  MptcpStack server_stack(rig.server(), cfg);
+  TransportConfig cfg;
+  cfg.kind = use_mptcp ? TransportKind::kMptcp : TransportKind::kTcp;
+  cfg.mptcp.meta_snd_buf_max = cfg.mptcp.meta_rcv_buf_max = 128 * 1024;
+  cfg.mptcp.tcp.time_wait = 10 * kMillisecond;
+  SocketFactory client_stack(rig.client(), cfg);
+  SocketFactory server_stack(rig.server(), cfg);
 
   HttpServer server(server_stack, 80);
   HttpClientPool clients(client_stack, rig.client_addr(0),

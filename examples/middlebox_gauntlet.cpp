@@ -34,25 +34,21 @@ int main() {
   SegmentSplitter splitter(536);
   SeqRewriter rewriter;
   ProactiveAcker proxy;
-  rig.splice_up(0, &splitter, [&](PacketSink* t) { splitter.set_target(t); });
-  rig.splice_up(0, &rewriter.forward_sink(),
-                [&](PacketSink* t) { rewriter.set_forward_target(t); });
-  rig.splice_up(0, &proxy.forward_sink(),
-                [&](PacketSink* t) { proxy.set_forward_target(t); });
-  proxy.set_reverse_target(&rig.network());
+  rig.splice_up(0, splitter);
+  rig.splice_up(0, rewriter.forward_sink());
+  rig.splice_up(0, proxy.forward_sink());
+  proxy.reverse_sink().set_downstream(&rig.network());
   // Reverse chain on path 0 undoes the rewriting for ACKs.
-  rig.splice_down(0, &rewriter.reverse_sink(),
-                  [&](PacketSink* t) { rewriter.set_reverse_target(t); });
+  rig.splice_down(0, rewriter.reverse_sink());
 
   // Path 1: NAT (with return routing) and a content-modifying ALG.
   Nat nat(IpAddr(192, 0, 2, 1));
   PayloadModifier alg(/*every Nth data segment=*/4);
-  rig.splice_up(1, &nat.forward_sink(),
-                [&](PacketSink* t) { nat.set_forward_target(t); });
-  rig.splice_up(1, &alg, [&](PacketSink* t) { alg.set_target(t); });
+  rig.splice_up(1, nat.forward_sink());
+  rig.splice_up(1, alg);
   rig.route_server_to(nat.public_addr(), 1);
   rig.network().attach(nat.public_addr(), &nat.reverse_sink());
-  nat.set_reverse_target(&rig.network());
+  nat.reverse_sink().set_downstream(&rig.network());
 
   MptcpConfig cfg;
   cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 512 * 1024;

@@ -121,10 +121,8 @@ int main(int argc, char** argv) {
     }
     tap_up = std::make_unique<PcapTap>(rig.loop(), *pcap);
     tap_down = std::make_unique<PcapTap>(rig.loop(), *pcap);
-    rig.splice_up(0, tap_up.get(),
-                  [&](PacketSink* t) { tap_up->set_target(t); });
-    rig.splice_down(0, tap_down.get(),
-                    [&](PacketSink* t) { tap_down->set_target(t); });
+    rig.splice_up(0, *tap_up);
+    rig.splice_down(0, *tap_down);
   }
 
   MptcpStack client_stack(rig.client(), cfg);

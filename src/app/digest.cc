@@ -6,6 +6,7 @@
 
 #include "app/bulk_app.h"
 #include "app/harness.h"
+#include "app/workload.h"
 #include "core/mptcp_stack.h"
 #include "sim/node.h"
 
@@ -27,12 +28,10 @@ inline void fnv_u64(uint64_t& h, uint64_t v) {
 
 /// A transparent link tap: hashes every segment it sees in delivery order,
 /// then forwards it unmodified to the link's original target.
-class HashingTap final : public PacketSink {
+class HashingTap final : public Middlebox {
  public:
   HashingTap(EventLoop& loop, uint64_t& hash, uint64_t& packets)
       : loop_(loop), hash_(hash), packets_(packets) {}
-
-  void set_next(PacketSink* next) { next_ = next; }
 
   void deliver(TcpSegment seg) override {
     ++packets_;
@@ -52,19 +51,30 @@ class HashingTap final : public PacketSink {
     fnv_u64(hash_, seg.options_wire_size());
     fnv_u64(hash_, seg.payload.size());
     for (uint8_t b : seg.payload.span()) fnv_byte(hash_, b);
-    next_->deliver(std::move(seg));
+    emit(std::move(seg));
   }
 
  private:
   EventLoop& loop_;
   uint64_t& hash_;
   uint64_t& packets_;
-  PacketSink* next_ = nullptr;
 };
 
-}  // namespace
+/// Folds the registry's final flat view into the hash: counters that
+/// drifted without changing the packet stream (e.g. event accounting)
+/// still break determinism and should be caught.
+void fold_stats(uint64_t& hash, StatsRegistry& reg) {
+  for (const auto& [name, value] : reg.flatten()) {
+    for (char c : name) fnv_byte(hash, static_cast<uint8_t>(c));
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    for (const char* p = buf; *p != '\0'; ++p) {
+      fnv_byte(hash, static_cast<uint8_t>(*p));
+    }
+  }
+}
 
-DigestResult run_digest_scenario(const DigestConfig& cfg) {
+DigestResult run_two_host_digest(const DigestConfig& cfg) {
   DigestResult out;
   uint64_t hash = kFnvOffset;
 
@@ -78,12 +88,10 @@ DigestResult run_digest_scenario(const DigestConfig& cfg) {
     for (bool up : {true, false}) {
       auto tap = std::make_unique<HashingTap>(rig.loop(), hash,
                                               out.packets_hashed);
-      HashingTap* raw = tap.get();
-      auto wire = [raw](PacketSink* next) { raw->set_next(next); };
       if (up) {
-        rig.splice_up(i, raw, wire);
+        rig.splice_up(i, *tap);
       } else {
-        rig.splice_down(i, raw, wire);
+        rig.splice_down(i, *tap);
       }
       taps.push_back(std::move(tap));
     }
@@ -109,21 +117,81 @@ DigestResult run_digest_scenario(const DigestConfig& cfg) {
 
   out.bytes_delivered = rx != nullptr ? rx->bytes_received() : 0;
   out.stats_json = rig.dump_stats();
-
-  // Fold the final stats into the digest too: counters that drifted
-  // without changing the packet stream (e.g. event accounting) still
-  // break determinism and should be caught.
-  for (const auto& [name, value] : rig.stats().flatten()) {
-    for (char c : name) fnv_byte(hash, static_cast<uint8_t>(c));
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    for (const char* p = buf; *p != '\0'; ++p) {
-      fnv_byte(hash, static_cast<uint8_t>(*p));
-    }
-  }
+  fold_stats(hash, rig.stats());
 
   out.digest = hash;
   return out;
+}
+
+/// Scale-out digest: a small capacity topology (4 dual-homed clients, 2
+/// servers, 2 shared bottlenecks) under a churning MPTCP workload, with
+/// every bottleneck crossing hashed in delivery order.
+DigestResult run_capacity_digest(const DigestConfig& cfg) {
+  DigestResult out;
+  uint64_t hash = kFnvOffset;
+
+  CapacitySpec spec;
+  spec.clients = 4;
+  spec.servers = 2;
+  spec.bottleneck_rate_bps = 200e6;
+  CapacityTopology cap = build_capacity_topology(spec, cfg.seed);
+  Topology& topo = *cap.topo;
+
+  // Tap both directions of both bottlenecks before any traffic flows.
+  std::vector<std::unique_ptr<HashingTap>> taps;
+  for (size_t l : {cap.bottleneck_a, cap.bottleneck_b}) {
+    for (bool ab : {true, false}) {
+      auto tap = std::make_unique<HashingTap>(topo.loop(), hash,
+                                              out.packets_hashed);
+      if (ab) {
+        topo.splice_ab(l, *tap);
+      } else {
+        topo.splice_ba(l, *tap);
+      }
+      taps.push_back(std::move(tap));
+    }
+  }
+
+  WorkloadConfig wc;
+  wc.clients = cap.clients;
+  wc.servers = cap.servers;
+  wc.seed = cfg.seed;
+  FlowClass churn;
+  churn.name = "churn";
+  churn.arrival_rate_hz = 20.0;
+  churn.size_dist = FlowClass::SizeDist::kExponential;
+  churn.mean_size = 30 * 1000;
+  churn.max_size = 300 * 1000;
+  churn.persistent_per_client = 5;
+  churn.transport.mptcp.meta_snd_buf_max = 64 * 1024;
+  churn.transport.mptcp.meta_rcv_buf_max = 64 * 1024;
+  churn.transport.mptcp.tcp.snd_buf_max = 32 * 1024;
+  churn.transport.mptcp.tcp.rcv_buf_max = 32 * 1024;
+  churn.transport.mptcp.tcp.seed = cfg.seed;
+  wc.classes.push_back(churn);
+
+  WorkloadEngine engine(topo, wc);
+  engine.start();
+  topo.loop().run_until(cfg.duration);
+
+  out.bytes_delivered = engine.bytes_received(0);
+  out.stats_json = topo.dump_stats();
+  fold_stats(hash, topo.stats());
+
+  out.digest = hash;
+  return out;
+}
+
+}  // namespace
+
+DigestResult run_digest_scenario(const DigestConfig& cfg) {
+  switch (cfg.scenario) {
+    case DigestScenario::kCapacity:
+      return run_capacity_digest(cfg);
+    case DigestScenario::kTwoHost:
+      break;
+  }
+  return run_two_host_digest(cfg);
 }
 
 std::string digest_hex(uint64_t digest) {

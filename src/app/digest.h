@@ -18,10 +18,18 @@
 
 namespace mptcp {
 
+/// Which fixed-seed scenario to hash.
+enum class DigestScenario : uint8_t {
+  kTwoHost,    ///< Fig. 6 shape: WiFi + weak lossy 3G, one bulk transfer
+  kCapacity,   ///< scale-out shape: multi-host workload over shared
+               ///< bottlenecks (sim/topology.h + app/workload.h)
+};
+
 struct DigestConfig {
   uint64_t seed = 1;
   SimTime duration = 5 * kSecond;
-  double loss = 0.02;  ///< Bernoulli loss on the weak 3G path
+  double loss = 0.02;  ///< Bernoulli loss on the weak 3G path (kTwoHost)
+  DigestScenario scenario = DigestScenario::kTwoHost;
 };
 
 struct DigestResult {
@@ -31,7 +39,8 @@ struct DigestResult {
   std::string stats_json;       ///< the run's full stats export
 };
 
-/// Runs the scenario and returns the digest. Deterministic by contract.
+/// Runs the configured scenario and returns the digest. Deterministic by
+/// contract: same build + same config => same digest.
 DigestResult run_digest_scenario(const DigestConfig& cfg = {});
 
 /// 16-digit lowercase hex rendering of a digest.

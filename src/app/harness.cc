@@ -96,16 +96,14 @@ size_t TwoHostRig::add_path(const PathSpec& spec) {
   return idx;
 }
 
-void TwoHostRig::splice_up(size_t i, PacketSink* element,
-                           std::function<void(PacketSink*)> set_target) {
-  set_target(paths_[i].up->target());
-  paths_[i].up->set_target(element);
+void TwoHostRig::splice_up(size_t i, Middlebox& element) {
+  element.set_downstream(paths_[i].up->target());
+  paths_[i].up->set_target(&element);
 }
 
-void TwoHostRig::splice_down(size_t i, PacketSink* element,
-                             std::function<void(PacketSink*)> set_target) {
-  set_target(paths_[i].down->target());
-  paths_[i].down->set_target(element);
+void TwoHostRig::splice_down(size_t i, Middlebox& element) {
+  element.set_downstream(paths_[i].down->target());
+  paths_[i].down->set_target(&element);
 }
 
 void TwoHostRig::set_path_up(size_t i, bool up) {

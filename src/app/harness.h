@@ -51,13 +51,12 @@ class TwoHostRig {
   /// Returns the path index.
   size_t add_path(const PathSpec& spec);
 
-  /// Splices a middlebox (any PacketSink with a settable downstream via
-  /// the returned wiring) into the client->server direction of path `i`.
-  /// The element's deliveries must go to `next` as passed here.
-  void splice_up(size_t i, PacketSink* element,
-                 std::function<void(PacketSink*)> set_element_target);
-  void splice_down(size_t i, PacketSink* element,
-                   std::function<void(PacketSink*)> set_element_target);
+  /// Splices a middlebox into the client->server (up) or server->client
+  /// (down) direction of path `i`. The element's downstream is wired to
+  /// whatever the link previously delivered to, so repeated splices build
+  /// a chain in call order (closest to the link first).
+  void splice_up(size_t i, Middlebox& element);
+  void splice_down(size_t i, Middlebox& element);
 
   EventLoop& loop() { return loop_; }
   Host& client() { return client_; }

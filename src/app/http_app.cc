@@ -8,16 +8,26 @@ namespace {
 constexpr uint8_t kMagic[8] = {'M', 'P', 'G', 'E', 'T', 0, 0, 0};
 }  // namespace
 
+std::vector<uint8_t> make_http_request(uint64_t response_size) {
+  std::vector<uint8_t> req(kHttpRequestSize, 0);
+  std::copy(std::begin(kMagic), std::end(kMagic), req.begin());
+  for (int i = 0; i < 8; ++i) {
+    req[8 + i] = static_cast<uint8_t>(response_size >> ((7 - i) * 8));
+  }
+  return req;
+}
+
 // ---------------------------------------------------------------------------
 // HttpServer
 // ---------------------------------------------------------------------------
 
-HttpServer::HttpServer(MptcpStack& stack, Port port) : stack_(stack) {
-  stack_.listen(port, [this](MptcpConnection& c) { accept(c); });
+HttpServer::HttpServer(SocketFactory& factory, Port port)
+    : factory_(factory) {
+  factory_.listen(port, [this](StreamSocket& c) { accept(c); });
 }
 
-void HttpServer::accept(MptcpConnection& c) {
-  c.set_auto_destroy(true);
+void HttpServer::accept(StreamSocket& c) {
+  factory_.release_when_closed(c);
   auto conn = std::make_unique<Conn>();
   conn->self = this;
   conn->sock = &c;
@@ -70,10 +80,10 @@ void HttpServer::reap(Conn* conn) {
 // HttpClientPool
 // ---------------------------------------------------------------------------
 
-HttpClientPool::HttpClientPool(MptcpStack& stack, IpAddr local_addr,
+HttpClientPool::HttpClientPool(SocketFactory& factory, IpAddr local_addr,
                                Endpoint server, size_t clients,
                                uint64_t response_size)
-    : stack_(stack),
+    : factory_(factory),
       local_addr_(local_addr),
       server_(server),
       response_size_(response_size) {
@@ -94,25 +104,20 @@ void HttpClientPool::start_request(Client& c) {
   // Bind the preferred address if its interface is up, else the first
   // live one (a real resolver/route lookup would do the same).
   IpAddr addr = local_addr_;
-  if (!stack_.host().interface_up(addr)) {
-    for (IpAddr a : stack_.host().addresses()) {
-      if (stack_.host().interface_up(a)) {
+  if (!factory_.host().interface_up(addr)) {
+    for (IpAddr a : factory_.host().addresses()) {
+      if (factory_.host().interface_up(a)) {
         addr = a;
         break;
       }
     }
   }
-  MptcpConnection& conn = stack_.connect(addr, server_);
-  conn.set_auto_destroy(true);
+  StreamSocket& conn = factory_.connect(addr, server_);
+  factory_.release_when_closed(conn);
   c.sock = &conn;
   Client* raw = &c;
   conn.on_connected = [this, raw] {
-    std::vector<uint8_t> req(kHttpRequestSize, 0);
-    std::copy(std::begin(kMagic), std::end(kMagic), req.begin());
-    for (int i = 0; i < 8; ++i) {
-      req[8 + i] = static_cast<uint8_t>(response_size_ >> ((7 - i) * 8));
-    }
-    raw->sock->write(req);
+    raw->sock->write(make_http_request(response_size_));
   };
   conn.on_readable = [this, raw] { on_client_readable(*raw); };
   conn.on_closed = [this, raw] {
@@ -141,7 +146,7 @@ void HttpClientPool::on_client_readable(Client& c) {
       ++errors_;
     }
     c.sock->close();
-    MptcpConnection* old = c.sock;
+    StreamSocket* old = c.sock;
     c.sock = nullptr;
     old->on_readable = nullptr;
     old->on_closed = nullptr;

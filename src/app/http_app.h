@@ -4,23 +4,27 @@
 // loop: open a connection, send a small fixed-size request naming the
 // response size, read the response to EOF, open the next connection.
 // Requests/second is the figure of merit. The same code drives MPTCP,
-// fallback-TCP, and TCP-over-bonding servers, since all expose
-// StreamSocket.
+// fallback-TCP, plain TCP and TCP-over-bonding servers: both sides are
+// written against StreamSocket only and obtain sockets from a
+// SocketFactory, which decides the transport.
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "core/mptcp_stack.h"
+#include "app/socket_factory.h"
 
 namespace mptcp {
 
 /// Wire format of a request: magic + big-endian response size.
 inline constexpr size_t kHttpRequestSize = 16;
 
+/// Serves MPGET requests on a port: reads the 16-byte request, streams the
+/// named number of pattern bytes back, closes. Connections are released to
+/// the factory when they finish, so the server sustains open-ended churn.
 class HttpServer {
  public:
-  HttpServer(MptcpStack& stack, Port port);
+  HttpServer(SocketFactory& factory, Port port);
 
   uint64_t requests_served() const { return served_; }
   uint64_t bytes_served() const { return bytes_; }
@@ -28,7 +32,7 @@ class HttpServer {
  private:
   struct Conn {
     HttpServer* self = nullptr;
-    MptcpConnection* sock = nullptr;
+    StreamSocket* sock = nullptr;
     std::vector<uint8_t> request;
     uint64_t response_size = 0;
     uint64_t response_sent = 0;
@@ -39,10 +43,10 @@ class HttpServer {
     void pump_response();
   };
 
-  void accept(MptcpConnection& c);
+  void accept(StreamSocket& c);
   void reap(Conn* conn);
 
-  MptcpStack& stack_;
+  SocketFactory& factory_;
   std::vector<std::unique_ptr<Conn>> conns_;
   uint64_t served_ = 0;
   uint64_t bytes_ = 0;
@@ -52,7 +56,7 @@ class HttpClientPool {
  public:
   /// `local_addr`: the address new connections bind (subflows may join
   /// from the host's other addresses automatically when MPTCP is on).
-  HttpClientPool(MptcpStack& stack, IpAddr local_addr, Endpoint server,
+  HttpClientPool(SocketFactory& factory, IpAddr local_addr, Endpoint server,
                  size_t clients, uint64_t response_size);
 
   void start();
@@ -62,7 +66,7 @@ class HttpClientPool {
  private:
   struct Client {
     HttpClientPool* self = nullptr;
-    MptcpConnection* sock = nullptr;
+    StreamSocket* sock = nullptr;
     uint64_t received = 0;
     bool done = false;
   };
@@ -70,7 +74,7 @@ class HttpClientPool {
   void start_request(Client& c);
   void on_client_readable(Client& c);
 
-  MptcpStack& stack_;
+  SocketFactory& factory_;
   IpAddr local_addr_;
   Endpoint server_;
   uint64_t response_size_;
@@ -78,5 +82,9 @@ class HttpClientPool {
   uint64_t completed_ = 0;
   uint64_t errors_ = 0;
 };
+
+/// Builds the 16-byte MPGET request asking for `response_size` bytes
+/// (shared by HttpClientPool and the workload engine).
+std::vector<uint8_t> make_http_request(uint64_t response_size);
 
 }  // namespace mptcp

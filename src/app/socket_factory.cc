@@ -1,0 +1,70 @@
+#include "app/socket_factory.h"
+
+namespace mptcp {
+
+SocketFactory::SocketFactory(Host& host, TransportConfig config)
+    : host_(host), config_(std::move(config)) {
+  if (config_.kind == TransportKind::kMptcp) {
+    mptcp_ = std::make_unique<MptcpStack>(host_, config_.mptcp);
+  }
+}
+
+SocketFactory::~SocketFactory() = default;
+
+StreamSocket& SocketFactory::connect(IpAddr local_addr, Endpoint remote) {
+  if (mptcp_) return mptcp_->connect(local_addr, remote);
+  auto conn = std::make_unique<OwnedTcp>(
+      *this, Endpoint{local_addr, host_.alloc_ephemeral_port()}, remote);
+  OwnedTcp& ref = *conn;
+  tcp_conns_.push_back(std::move(conn));
+  ref.connect();
+  return ref;
+}
+
+void SocketFactory::listen(Port port, AcceptCallback cb) {
+  if (mptcp_) {
+    mptcp_->listen(port, [cb = std::move(cb)](MptcpConnection& c) { cb(c); });
+    return;
+  }
+  tcp_listeners_.push_back(std::make_unique<TcpListener>(
+      host_, port, [this, cb = std::move(cb)](const TcpSegment& syn) {
+        auto conn =
+            std::make_unique<OwnedTcp>(*this, syn.tuple.dst, syn.tuple.src);
+        OwnedTcp& ref = *conn;
+        tcp_conns_.push_back(std::move(conn));
+        ref.accept_syn(syn);
+        cb(ref);
+      }));
+}
+
+void SocketFactory::release_when_closed(StreamSocket& s) {
+  if (auto* m = as_mptcp(s)) {
+    m->set_auto_destroy(true);
+    return;
+  }
+  static_cast<OwnedTcp&>(s).release_on_close();
+}
+
+void SocketFactory::destroy_tcp_later(OwnedTcp* conn) {
+  // Deferred to a fresh event so release is safe from the socket's own
+  // callbacks (same discipline as MptcpStack::destroy_later).
+  loop().schedule_in(0, [this, conn] {
+    std::erase_if(tcp_conns_, [conn](const std::unique_ptr<OwnedTcp>& c) {
+      return c.get() == conn;
+    });
+  });
+}
+
+size_t SocketFactory::live_sockets() const {
+  return mptcp_ ? mptcp_->live_connections() : tcp_conns_.size();
+}
+
+MptcpConnection* SocketFactory::as_mptcp(StreamSocket& s) {
+  return dynamic_cast<MptcpConnection*>(&s);
+}
+
+TcpConnection* SocketFactory::as_tcp(StreamSocket& s) {
+  return dynamic_cast<TcpConnection*>(&s);
+}
+
+}  // namespace mptcp

@@ -1,0 +1,286 @@
+#include "app/workload.h"
+
+#include <algorithm>
+
+namespace mptcp {
+
+namespace {
+
+/// "Infinite" response size for persistent connections: large enough to
+/// outlast any simulated run (2 TB).
+constexpr uint64_t kPersistentBytes = 1ULL << 41;
+
+}  // namespace
+
+CapacityTopology build_capacity_topology(const CapacitySpec& spec,
+                                         uint64_t seed) {
+  CapacityTopology out;
+  out.topo = std::make_unique<Topology>(seed);
+  Topology& t = *out.topo;
+
+  out.agg_a = t.add_router("agg-a");
+  out.agg_b = t.add_router("agg-b");
+  out.core = t.add_router("core");
+
+  LinkConfig access;
+  access.rate_bps = spec.access_rate_bps;
+  access.prop_delay = spec.access_delay;
+  access.buffer_bytes = std::max<size_t>(
+      LinkConfig::buffer_for_delay(spec.access_rate_bps, 5 * kMillisecond),
+      3000);
+
+  LinkConfig bottleneck;
+  bottleneck.rate_bps = spec.bottleneck_rate_bps;
+  bottleneck.prop_delay = spec.bottleneck_delay;
+  bottleneck.buffer_bytes = std::max<size_t>(
+      LinkConfig::buffer_for_delay(spec.bottleneck_rate_bps,
+                                   spec.bottleneck_buffer_delay),
+      3000);
+
+  for (size_t i = 0; i < spec.clients; ++i) {
+    const NodeId c = t.add_host("client" + std::to_string(i));
+    t.connect(c, out.agg_a, access, access);
+    t.connect(c, out.agg_b, access, access);
+    out.clients.push_back(c);
+  }
+  out.bottleneck_a = t.connect(out.agg_a, out.core, bottleneck, bottleneck,
+                               "bottleneck-a");
+  out.bottleneck_b = t.connect(out.agg_b, out.core, bottleneck, bottleneck,
+                               "bottleneck-b");
+  for (size_t j = 0; j < spec.servers; ++j) {
+    const NodeId s = t.add_host("server" + std::to_string(j));
+    t.connect(out.core, s, access, access);
+    out.servers.push_back(s);
+  }
+  t.build_routes();
+  return out;
+}
+
+WorkloadEngine::WorkloadEngine(Topology& topo, WorkloadConfig cfg)
+    : topo_(topo), cfg_(std::move(cfg)) {
+  StatsRegistry& reg = topo_.stats();
+  classes_.reserve(cfg_.classes.size());
+  for (size_t k = 0; k < cfg_.classes.size(); ++k) {
+    ClassState cs;
+    cs.spec = cfg_.classes[k];
+    cs.scope = reg.unique_scope("workload." + cs.spec.name);
+    classes_.push_back(std::move(cs));
+  }
+  // Register after the vector is final so the lambdas can capture stable
+  // element pointers.
+  for (ClassState& cs : classes_) {
+    ClassState* p = &cs;
+    reg.sampled(cs.scope + ".started",
+                [p] { return static_cast<double>(p->started); });
+    reg.sampled(cs.scope + ".completed",
+                [p] { return static_cast<double>(p->completed); });
+    reg.sampled(cs.scope + ".errors",
+                [p] { return static_cast<double>(p->errors); });
+    reg.sampled(cs.scope + ".bytes_received",
+                [p] { return static_cast<double>(p->bytes); });
+    cs.fct_us = &reg.histogram(cs.scope + ".fct_us");
+    Histogram* h = cs.fct_us;
+    reg.sampled(cs.scope + ".fct_p50_us",
+                [h] { return static_cast<double>(h->approx_percentile(0.5)); });
+    reg.sampled(cs.scope + ".fct_p99_us",
+                [h] { return static_cast<double>(h->approx_percentile(0.99)); });
+  }
+  reg.sampled("workload.concurrent",
+              [this] { return static_cast<double>(flows_.size()); });
+  reg.sampled("workload.peak_concurrent",
+              [this] { return static_cast<double>(peak_concurrent_); });
+}
+
+WorkloadEngine::~WorkloadEngine() {
+  for (auto& [ptr, flow] : flows_) {
+    if (flow->sock != nullptr) {
+      flow->sock->on_connected = nullptr;
+      flow->sock->on_readable = nullptr;
+      flow->sock->on_send_space = nullptr;
+      flow->sock->on_closed = nullptr;
+    }
+  }
+  StatsRegistry& reg = topo_.stats();
+  for (ClassState& cs : classes_) reg.remove_scope(cs.scope);
+  reg.remove("workload.concurrent");
+  reg.remove("workload.peak_concurrent");
+}
+
+void WorkloadEngine::start() {
+  if (started_) return;
+  started_ = true;
+
+  // Servers: one factory + MPGET service per (server host, class), since
+  // the transport of a listening port is a property of the class.
+  for (NodeId s : cfg_.servers) {
+    for (size_t k = 0; k < classes_.size(); ++k) {
+      ServerSlot slot;
+      slot.factory = std::make_unique<SocketFactory>(
+          topo_.host(s), classes_[k].spec.transport);
+      slot.http = std::make_unique<HttpServer>(
+          *slot.factory, static_cast<Port>(cfg_.base_port + k));
+      servers_.push_back(std::move(slot));
+    }
+  }
+
+  // Clients: per (host, class) factory, arrival clock and rng stream.
+  for (size_t ci = 0; ci < cfg_.clients.size(); ++ci) {
+    for (size_t k = 0; k < classes_.size(); ++k) {
+      auto slot = std::make_unique<ClientSlot>();
+      slot->eng = this;
+      slot->cls = k;
+      slot->node = cfg_.clients[ci];
+      slot->factory = std::make_unique<SocketFactory>(
+          topo_.host(slot->node), classes_[k].spec.transport);
+      slot->rng.reseed(cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (ci + 1)) ^
+                       (0xd1342543de82ef95ULL * (k + 1)));
+      // Stagger round-robin cursors so client i does not start on the
+      // same server as client i+1.
+      slot->next_server = ci;
+      slot->next_local = ci;
+      slots_.push_back(std::move(slot));
+    }
+  }
+
+  for (auto& slot : slots_) {
+    const FlowClass& spec = classes_[slot->cls].spec;
+    // Persistent connections ramp up over the first simulated second in a
+    // deterministic stagger, so the handshake burst does not synchronize.
+    for (size_t i = 0; i < spec.persistent_per_client; ++i) {
+      const SimTime at =
+          static_cast<SimTime>(slot->rng.next_below(1000)) * kMillisecond;
+      ClientSlot* raw = slot.get();
+      topo_.loop().schedule_in(at, [this, raw] {
+        if (!stopped_) launch(*raw, /*persistent=*/true);
+      });
+    }
+    if (spec.arrival_rate_hz > 0) {
+      ClientSlot* raw = slot.get();
+      slot->arrival = std::make_unique<Timer>(topo_.loop(), [this, raw] {
+        if (stopped_) return;
+        launch(*raw, /*persistent=*/false);
+        schedule_arrival(*raw);
+      });
+      schedule_arrival(*slot);
+    }
+  }
+}
+
+void WorkloadEngine::stop() {
+  stopped_ = true;
+  for (auto& slot : slots_) {
+    if (slot->arrival) slot->arrival->cancel();
+  }
+}
+
+void WorkloadEngine::schedule_arrival(ClientSlot& slot) {
+  const FlowClass& spec = classes_[slot.cls].spec;
+  const double secs = slot.rng.next_exponential(1.0 / spec.arrival_rate_hz);
+  const auto dt = std::max<SimTime>(
+      1, static_cast<SimTime>(secs * static_cast<double>(kSecond)));
+  slot.arrival->arm_in(dt);
+}
+
+uint64_t WorkloadEngine::sample_size(const FlowClass& spec, Rng& rng) {
+  switch (spec.size_dist) {
+    case FlowClass::SizeDist::kFixed:
+      return spec.mean_size;
+    case FlowClass::SizeDist::kExponential: {
+      const double v =
+          rng.next_exponential(static_cast<double>(spec.mean_size));
+      return std::clamp(static_cast<uint64_t>(v), spec.min_size,
+                        spec.max_size);
+    }
+  }
+  return spec.mean_size;
+}
+
+void WorkloadEngine::launch(ClientSlot& slot, bool persistent) {
+  ClassState& cls = classes_[slot.cls];
+  const FlowClass& spec = cls.spec;
+
+  const NodeId server = cfg_.servers[slot.next_server % cfg_.servers.size()];
+  ++slot.next_server;
+  const auto& saddrs = topo_.addrs(server);
+  const Endpoint remote{saddrs[slot.next_server % saddrs.size()],
+                        static_cast<Port>(cfg_.base_port + slot.cls)};
+
+  // First-subflow source address: round-robin over the class's path set.
+  const auto& laddrs = topo_.addrs(slot.node);
+  IpAddr local;
+  if (spec.local_addr_set.empty()) {
+    local = laddrs[slot.next_local % laddrs.size()];
+  } else {
+    local = laddrs[spec.local_addr_set[slot.next_local %
+                                       spec.local_addr_set.size()] %
+                   laddrs.size()];
+  }
+  ++slot.next_local;
+
+  auto flow = std::make_unique<Flow>();
+  Flow* f = flow.get();
+  f->eng = this;
+  f->cls = slot.cls;
+  f->start = topo_.loop().now();
+  f->want = persistent ? kPersistentBytes : sample_size(spec, slot.rng);
+  f->persistent = persistent;
+
+  StreamSocket& s = slot.factory->connect(local, remote);
+  slot.factory->release_when_closed(s);
+  f->sock = &s;
+  ++cls.started;
+  flows_.emplace(f, std::move(flow));
+  peak_concurrent_ = std::max(peak_concurrent_, flows_.size());
+
+  s.on_connected = [f] { f->sock->write(make_http_request(f->want)); };
+  s.on_readable = [this, f] { drain(*f); };
+  s.on_closed = [this, f] {
+    if (!f->done) finish(*f, /*ok=*/false);
+  };
+}
+
+void WorkloadEngine::drain(Flow& f) {
+  ClassState& cls = classes_[f.cls];
+  uint8_t buf[16 * 1024];
+  for (;;) {
+    const size_t n = f.sock->read(buf);
+    if (n == 0) break;
+    f.got += n;
+    cls.bytes += n;
+  }
+  if (!f.done && f.sock->at_eof()) finish(f, /*ok=*/f.got == f.want);
+}
+
+void WorkloadEngine::finish(Flow& f, bool ok) {
+  ClassState& cls = classes_[f.cls];
+  f.done = true;
+  if (ok) {
+    ++cls.completed;
+    if (!f.persistent) {
+      cls.fct_us->record(
+          static_cast<uint64_t>((topo_.loop().now() - f.start) / 1000));
+    }
+  } else {
+    ++cls.errors;
+  }
+  f.sock->close();
+  detach(f);
+}
+
+void WorkloadEngine::detach(Flow& f) {
+  // The socket outlives the flow record (it is factory-owned until fully
+  // closed), so its callbacks must not dangle into the erased Flow.
+  f.sock->on_connected = nullptr;
+  f.sock->on_readable = nullptr;
+  f.sock->on_send_space = nullptr;
+  f.sock->on_closed = nullptr;
+  flows_.erase(&f);
+}
+
+uint64_t WorkloadEngine::total_completed() const {
+  uint64_t total = 0;
+  for (const ClassState& cs : classes_) total += cs.completed;
+  return total;
+}
+
+}  // namespace mptcp

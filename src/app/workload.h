@@ -1,0 +1,186 @@
+// Many-connection workload engine: open-loop traffic over a Topology.
+//
+// Where the closed-loop HTTP pool (http_app.h) models a fixed client
+// count, the WorkloadEngine models *load*: each traffic class opens new
+// connections from every client host as a Poisson process (exponential
+// inter-arrivals), draws a flow size from a configurable distribution,
+// fetches that many bytes from a round-robin-chosen server, and records
+// the flow completion time. Classes can additionally pin long-lived
+// "persistent" connections open for the whole run, which is how the
+// capacity benchmark sustains thousands of concurrent MPTCP connections
+// over a shared bottleneck.
+//
+// Every class carries its own TransportConfig (TCP vs MPTCP, buffer
+// sizes, subflow policy) and an optional path set -- the subset of each
+// client host's interfaces its flows bind as the first-subflow source
+// address -- so classes are steered onto distinct paths of the same
+// topology. Everything is written against StreamSocket/SocketFactory;
+// the engine never names a transport.
+//
+// Observability: per-class scopes "workload.<name>" in the loop's
+// StatsRegistry -- started/completed/errors/bytes counters, a concurrent
+// gauge, peak concurrency, a power-of-two FCT histogram and sampled
+// p50/p99 completion times -- all exported by Topology::dump_stats().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "app/http_app.h"
+#include "app/socket_factory.h"
+#include "sim/topology.h"
+
+namespace mptcp {
+
+/// One traffic class: arrival process, size distribution, transport.
+struct FlowClass {
+  std::string name = "default";
+  TransportConfig transport;
+
+  /// New-flow arrival rate per client host (Poisson; 0 = no churn).
+  double arrival_rate_hz = 10.0;
+
+  enum class SizeDist : uint8_t { kFixed, kExponential };
+  SizeDist size_dist = SizeDist::kFixed;
+  uint64_t mean_size = 100 * 1000;        ///< bytes fetched per flow
+  uint64_t min_size = 1000;               ///< clamp for kExponential
+  uint64_t max_size = 100 * 1000 * 1000;  ///< clamp for kExponential
+
+  /// Long-lived connections opened per client host at start(); they fetch
+  /// an effectively infinite response and stay up for the whole run.
+  size_t persistent_per_client = 0;
+
+  /// Indices into each client host's interface list that this class binds
+  /// as first-subflow source addresses (round-robin). Empty = all.
+  std::vector<size_t> local_addr_set;
+};
+
+struct WorkloadConfig {
+  std::vector<NodeId> clients;
+  std::vector<NodeId> servers;
+  std::vector<FlowClass> classes;
+  Port base_port = 8000;  ///< class k is served on base_port + k
+  uint64_t seed = 1;
+};
+
+/// The canonical scale-out shape shared by the capacity benchmark, the
+/// multi-host determinism digest and the topology tests: N dual-homed
+/// client hosts fan into two aggregation routers whose uplinks to a core
+/// router are the shared bottlenecks; M servers hang off the core.
+///
+///   client_i --access--> agg_a --bottleneck_a--> core --access--> server_j
+///            \-access--> agg_b --bottleneck_b--/
+///
+/// Every client gets two addresses (one per aggregation side), so each
+/// MPTCP connection can run one subflow per bottleneck.
+struct CapacitySpec {
+  size_t clients = 4;
+  size_t servers = 2;
+  double access_rate_bps = 1e9;
+  SimTime access_delay = 200 * kMicrosecond;
+  double bottleneck_rate_bps = 400e6;
+  SimTime bottleneck_delay = 2 * kMillisecond;
+  SimTime bottleneck_buffer_delay = 20 * kMillisecond;
+};
+
+struct CapacityTopology {
+  std::unique_ptr<Topology> topo;
+  std::vector<NodeId> clients;
+  std::vector<NodeId> servers;
+  NodeId agg_a = 0, agg_b = 0, core = 0;
+  size_t bottleneck_a = 0, bottleneck_b = 0;  ///< link indices
+};
+
+/// Builds the topology above (routes already computed).
+CapacityTopology build_capacity_topology(const CapacitySpec& spec,
+                                         uint64_t seed);
+
+class WorkloadEngine {
+ public:
+  WorkloadEngine(Topology& topo, WorkloadConfig cfg);
+  ~WorkloadEngine();
+
+  WorkloadEngine(const WorkloadEngine&) = delete;
+  WorkloadEngine& operator=(const WorkloadEngine&) = delete;
+
+  /// Installs the servers, opens persistent connections and starts the
+  /// arrival processes.
+  void start();
+  /// Stops launching new flows; in-flight flows run to completion.
+  void stop();
+
+  // --- introspection (also exported through the stats registry) ---------
+  uint64_t started(size_t cls) const { return classes_[cls].started; }
+  uint64_t completed(size_t cls) const { return classes_[cls].completed; }
+  uint64_t errors(size_t cls) const { return classes_[cls].errors; }
+  uint64_t bytes_received(size_t cls) const { return classes_[cls].bytes; }
+  const Histogram& fct_us(size_t cls) const { return *classes_[cls].fct_us; }
+  size_t class_count() const { return classes_.size(); }
+
+  /// Client-side flows currently open, across all classes.
+  size_t concurrent() const { return flows_.size(); }
+  size_t peak_concurrent() const { return peak_concurrent_; }
+  uint64_t total_completed() const;
+
+ private:
+  struct ClassState {
+    FlowClass spec;
+    std::string scope;
+    uint64_t started = 0;
+    uint64_t completed = 0;
+    uint64_t errors = 0;
+    uint64_t bytes = 0;
+    Histogram* fct_us = nullptr;  ///< completion times, microseconds
+  };
+
+  /// One (client host, class) pair: its transport factory, arrival clock
+  /// and round-robin cursors.
+  struct ClientSlot {
+    WorkloadEngine* eng = nullptr;
+    size_t cls = 0;
+    NodeId node = 0;
+    std::unique_ptr<SocketFactory> factory;
+    std::unique_ptr<Timer> arrival;
+    Rng rng{1};
+    size_t next_server = 0;
+    size_t next_local = 0;
+  };
+
+  /// One open client-side flow.
+  struct Flow {
+    WorkloadEngine* eng = nullptr;
+    size_t cls = 0;
+    StreamSocket* sock = nullptr;
+    SimTime start = 0;
+    uint64_t want = 0;
+    uint64_t got = 0;
+    bool persistent = false;
+    bool done = false;
+  };
+
+  void schedule_arrival(ClientSlot& slot);
+  void launch(ClientSlot& slot, bool persistent);
+  uint64_t sample_size(const FlowClass& spec, Rng& rng);
+  void drain(Flow& f);
+  void finish(Flow& f, bool ok);
+  void detach(Flow& f);  ///< clears socket callbacks and erases the flow
+
+  Topology& topo_;
+  WorkloadConfig cfg_;
+  std::vector<ClassState> classes_;
+  std::vector<std::unique_ptr<ClientSlot>> slots_;
+  /// Server side: one factory + MPGET server per (server host, class).
+  struct ServerSlot {
+    std::unique_ptr<SocketFactory> factory;
+    std::unique_ptr<HttpServer> http;
+  };
+  std::vector<ServerSlot> servers_;
+  std::unordered_map<Flow*, std::unique_ptr<Flow>> flows_;
+  size_t peak_concurrent_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace mptcp

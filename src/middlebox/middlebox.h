@@ -10,7 +10,10 @@
 // Unidirectional elements derive from SimpleMiddlebox and are spliced into
 // one direction of a path. Stateful elements that must observe both
 // directions (NAT, sequence rewriting, proxies) derive from
-// DuplexMiddlebox and expose separate forward/reverse sinks.
+// DuplexMiddlebox and expose separate forward/reverse sinks. Both build on
+// the self-describing Middlebox base (sim/node.h): every spliceable
+// element carries its own downstream pointer, so harness code chains
+// elements uniformly with set_downstream()/downstream().
 #pragma once
 
 #include <functional>
@@ -21,11 +24,8 @@
 namespace mptcp {
 
 /// One-directional in-path element.
-class SimpleMiddlebox : public PacketSink {
+class SimpleMiddlebox : public Middlebox {
  public:
-  void set_target(PacketSink* t) { target_ = t; }
-  PacketSink* target() const { return target_; }
-
   void deliver(TcpSegment seg) final {
     ++seen_;
     process(std::move(seg));
@@ -35,48 +35,39 @@ class SimpleMiddlebox : public PacketSink {
 
  protected:
   virtual void process(TcpSegment seg) = 0;
-  void emit(TcpSegment seg) {
-    if (target_ != nullptr) target_->deliver(std::move(seg));
-  }
 
  private:
-  PacketSink* target_ = nullptr;
   uint64_t seen_ = 0;
 };
 
 /// Two-directional element: owns a forward sink (toward the server) and a
-/// reverse sink (toward the client) that share state.
+/// reverse sink (toward the client) that share state. Each sink is itself
+/// a Middlebox, so either direction splices like any one-directional
+/// element: forward_sink().set_downstream(...) wires its output.
 class DuplexMiddlebox {
  public:
   virtual ~DuplexMiddlebox() = default;
 
-  PacketSink& forward_sink() { return fwd_; }
-  PacketSink& reverse_sink() { return rev_; }
-  void set_forward_target(PacketSink* t) { fwd_target_ = t; }
-  void set_reverse_target(PacketSink* t) { rev_target_ = t; }
+  Middlebox& forward_sink() { return fwd_; }
+  Middlebox& reverse_sink() { return rev_; }
 
  protected:
   virtual void on_forward(TcpSegment seg) = 0;
   virtual void on_reverse(TcpSegment seg) = 0;
-  void emit_forward(TcpSegment seg) {
-    if (fwd_target_ != nullptr) fwd_target_->deliver(std::move(seg));
-  }
-  void emit_reverse(TcpSegment seg) {
-    if (rev_target_ != nullptr) rev_target_->deliver(std::move(seg));
-  }
+  void emit_forward(TcpSegment seg) { fwd_.forward(std::move(seg)); }
+  void emit_reverse(TcpSegment seg) { rev_.forward(std::move(seg)); }
 
  private:
-  struct Adapter : PacketSink {
+  struct Adapter final : Middlebox {
     explicit Adapter(std::function<void(TcpSegment)> fn)
         : fn_(std::move(fn)) {}
     void deliver(TcpSegment seg) override { fn_(std::move(seg)); }
+    void forward(TcpSegment seg) { emit(std::move(seg)); }
     std::function<void(TcpSegment)> fn_;
   };
 
   Adapter fwd_{[this](TcpSegment s) { on_forward(std::move(s)); }};
   Adapter rev_{[this](TcpSegment s) { on_reverse(std::move(s)); }};
-  PacketSink* fwd_target_ = nullptr;
-  PacketSink* rev_target_ = nullptr;
 };
 
 }  // namespace mptcp

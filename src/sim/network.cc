@@ -101,6 +101,29 @@ void Host::unbind(const Endpoint& local, const Endpoint& remote) {
   conns_.erase({local, remote});
 }
 
+Router::Router(EventLoop& loop, std::string name)
+    : loop_(loop), name_(std::move(name)) {
+  StatsRegistry& reg = loop_.stats();
+  scope_ = reg.unique_scope("sim.router." + name_);
+  reg.sampled(scope_ + ".forwarded",
+              [this] { return static_cast<double>(forwarded_); });
+  reg.sampled(scope_ + ".dropped_no_route",
+              [this] { return static_cast<double>(dropped_no_route_); });
+}
+
+Router::~Router() { loop_.stats().remove_scope(scope_); }
+
+void Router::deliver(TcpSegment seg) {
+  auto it = routes_.find(seg.tuple.dst.addr);
+  PacketSink* next = it != routes_.end() ? it->second : default_;
+  if (next == nullptr) {
+    ++dropped_no_route_;
+    return;
+  }
+  ++forwarded_;
+  next->deliver(std::move(seg));
+}
+
 void Host::listen(Port port, ListenHandler* handler) {
   listeners_[port] = handler;
 }

@@ -146,6 +146,49 @@ class Host : public PacketSink {
   uint64_t demux_misses_ = 0;
 };
 
+/// A named store-and-forward node: routes segments by destination address
+/// through a next-hop table, with an optional default route. Unlike Host a
+/// router keeps no transport state, and unlike the bare Classifier it is
+/// an observable node -- forwarded/dropped counts publish to the stats
+/// registry under "sim.router.<name>". Topologies (sim/topology.h) build
+/// graphs of hosts and routers and fill the tables via build_routes().
+class Router : public PacketSink {
+ public:
+  Router(EventLoop& loop, std::string name);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Registry scope ("sim.router.<name>", made collision-free).
+  const std::string& stats_scope() const { return scope_; }
+
+  void add_route(IpAddr dst, PacketSink* next) { routes_[dst] = next; }
+  void set_default_route(PacketSink* next) { default_ = next; }
+  void clear_routes() {
+    routes_.clear();
+    default_ = nullptr;
+  }
+  size_t route_count() const { return routes_.size(); }
+
+  /// Forwards by destination address; segments with no matching route and
+  /// no default are dropped (counted).
+  void deliver(TcpSegment seg) override;
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t dropped_no_route() const { return dropped_no_route_; }
+
+ private:
+  EventLoop& loop_;
+  std::string name_;
+  std::string scope_;
+  std::unordered_map<IpAddr, PacketSink*> routes_;
+  PacketSink* default_ = nullptr;
+  uint64_t forwarded_ = 0;
+  uint64_t dropped_no_route_ = 0;
+};
+
 /// The network core: final hop that routes to destination hosts.
 class Network : public PacketSink {
  public:

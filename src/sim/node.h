@@ -22,4 +22,26 @@ class NullSink : public PacketSink {
   uint64_t dropped_ = 0;
 };
 
+/// A self-describing in-path element: a PacketSink that also knows where
+/// its output goes. Anything that can be spliced into a path (middleboxes,
+/// taps, corrupters) derives from this, which lets harness code insert an
+/// element with no per-element wiring callback:
+///
+///   element.set_downstream(link.target());
+///   link.set_target(&element);
+class Middlebox : public PacketSink {
+ public:
+  void set_downstream(PacketSink* next) { downstream_ = next; }
+  PacketSink* downstream() const { return downstream_; }
+
+ protected:
+  /// Forwards a segment to the downstream sink (drops it if unset).
+  void emit(TcpSegment seg) {
+    if (downstream_ != nullptr) downstream_->deliver(std::move(seg));
+  }
+
+ private:
+  PacketSink* downstream_ = nullptr;
+};
+
 }  // namespace mptcp

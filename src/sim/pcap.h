@@ -37,23 +37,20 @@ class PcapWriter {
   uint64_t packets_ = 0;
 };
 
-/// In-path tap: records and forwards.
-class PcapTap : public PacketSink {
+/// In-path tap: records and forwards to its downstream.
+class PcapTap : public Middlebox {
  public:
   PcapTap(EventLoop& loop, PcapWriter& writer)
       : loop_(loop), writer_(writer) {}
 
-  void set_target(PacketSink* t) { target_ = t; }
-
   void deliver(TcpSegment seg) override {
     writer_.record(loop_.now(), seg);
-    if (target_ != nullptr) target_->deliver(std::move(seg));
+    emit(std::move(seg));
   }
 
  private:
   EventLoop& loop_;
   PcapWriter& writer_;
-  PacketSink* target_ = nullptr;
 };
 
 }  // namespace mptcp

@@ -1,0 +1,151 @@
+#include "sim/topology.h"
+
+#include <deque>
+#include <utility>
+
+namespace mptcp {
+
+NodeId Topology::add_host(const std::string& name) {
+  const NodeId id = nodes_.size();
+  Node n;
+  n.name = name;
+  n.host = std::make_unique<Host>(loop_, name);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+NodeId Topology::add_router(const std::string& name) {
+  const NodeId id = nodes_.size();
+  Node n;
+  n.name = name;
+  n.router = std::make_unique<Router>(loop_, name);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+size_t Topology::connect(NodeId a, NodeId b, const LinkConfig& cfg_ab,
+                         const LinkConfig& cfg_ba, std::string name) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  const size_t idx = links_.size();
+  if (name.empty()) name = nodes_[a].name + "-" + nodes_[b].name;
+
+  LinkConfig ab = cfg_ab;
+  LinkConfig ba = cfg_ba;
+  ab.loss_seed ^= seed_ * 0x9e37 + idx * 0x632be59bd9b4e019ULL;
+  ba.loss_seed ^= seed_ * 0x79b9 + idx * 0xd1342543de82ef95ULL;
+
+  LinkRec rec;
+  rec.a = a;
+  rec.b = b;
+  rec.ab = std::make_unique<Link>(loop_, ab, name + "-ab");
+  rec.ba = std::make_unique<Link>(loop_, ba, name + "-ba");
+  rec.ab->set_target(sink_of(b));
+  rec.ba->set_target(sink_of(a));
+
+  // Host endpoints gain a fresh address in this link's /24 and send out of
+  // it through the matching link direction.
+  const auto hi = static_cast<uint8_t>(1 + (idx >> 8));
+  const auto lo = static_cast<uint8_t>(idx & 0xff);
+  if (!is_router(a)) {
+    const IpAddr addr_a(10, hi, lo, 1);
+    nodes_[a].host->add_interface(addr_a, rec.ab.get());
+    nodes_[a].addrs.push_back(addr_a);
+  }
+  if (!is_router(b)) {
+    const IpAddr addr_b(10, hi, lo, 2);
+    nodes_[b].host->add_interface(addr_b, rec.ba.get());
+    nodes_[b].addrs.push_back(addr_b);
+  }
+
+  links_.push_back(std::move(rec));
+  return idx;
+}
+
+void Topology::splice_ab(size_t l, Middlebox& element) {
+  element.set_downstream(links_[l].ab->target());
+  links_[l].ab->set_target(&element);
+}
+
+void Topology::splice_ba(size_t l, Middlebox& element) {
+  element.set_downstream(links_[l].ba->target());
+  links_[l].ba->set_target(&element);
+}
+
+void Topology::set_link_up(size_t l, bool up) {
+  LinkRec& rec = links_[l];
+  rec.ab->set_up(up);
+  rec.ba->set_up(up);
+  for (NodeId side : {rec.a, rec.b}) {
+    if (is_router(side)) continue;
+    // The address this host gained from link `l` is the one whose
+    // interface sends into it.
+    const auto hi = static_cast<uint8_t>(1 + (l >> 8));
+    const auto lo = static_cast<uint8_t>(l & 0xff);
+    const IpAddr addr(10, hi, lo, side == rec.a ? 1 : 2);
+    nodes_[side].host->set_interface_up(addr, up);
+  }
+}
+
+void Topology::build_routes() {
+  for (Node& n : nodes_) {
+    if (n.router != nullptr) n.router->clear_routes();
+  }
+
+  // Adjacency in creation order; `back` is the reverse direction of the
+  // same link (the out-link of `peer` toward this node), which is exactly
+  // the next hop a BFS predecessor needs.
+  struct Edge {
+    NodeId peer;
+    Link* out;   ///< direction node -> peer
+    Link* back;  ///< direction peer -> node
+  };
+  std::vector<std::vector<Edge>> adj(nodes_.size());
+  for (LinkRec& l : links_) {
+    adj[l.a].push_back(Edge{l.b, l.ab.get(), l.ba.get()});
+    adj[l.b].push_back(Edge{l.a, l.ba.get(), l.ab.get()});
+  }
+
+  // Scratch state for the per-address BFS below, reused across addresses.
+  std::vector<int> visited(nodes_.size(), 0);
+  std::vector<Link*> via(nodes_.size(), nullptr);  // next hop toward source
+  int epoch = 0;
+
+  for (size_t li = 0; li < links_.size(); ++li) {
+    LinkRec& lrec = links_[li];
+    // Each host endpoint contributes one routable address; seed a BFS at
+    // the far end of its access link.
+    for (int side = 0; side < 2; ++side) {
+      const NodeId h = side == 0 ? lrec.a : lrec.b;
+      const NodeId u = side == 0 ? lrec.b : lrec.a;
+      if (is_router(h)) continue;
+      const IpAddr addr(10, static_cast<uint8_t>(1 + (li >> 8)),
+                        static_cast<uint8_t>(li & 0xff), side == 0 ? 1 : 2);
+      Link* toward_h = side == 0 ? lrec.ba.get() : lrec.ab.get();
+
+      if (!is_router(u)) continue;  // host-to-host link: direct, no routing
+      nodes_[u].router->add_route(addr, toward_h);
+
+      // BFS over the router mesh from `u`; hosts are leaves (they never
+      // forward), so only routers are expanded. First-discovered wins on
+      // equal hop counts -- deterministic by construction order.
+      ++epoch;
+      std::deque<NodeId> queue;
+      visited[u] = epoch;
+      queue.push_back(u);
+      while (!queue.empty()) {
+        const NodeId n = queue.front();
+        queue.pop_front();
+        for (const Edge& e : adj[n]) {
+          if (visited[e.peer] == epoch) continue;
+          visited[e.peer] = epoch;
+          via[e.peer] = e.back;
+          if (!is_router(e.peer)) continue;
+          nodes_[e.peer].router->add_route(addr, via[e.peer]);
+          queue.push_back(e.peer);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mptcp

@@ -1,0 +1,133 @@
+// Declarative multi-host topologies: arbitrary graphs of hosts, routers
+// and links built from a spec, with automatic addressing and routing.
+//
+// TwoHostRig (app/harness.h) hard-wires the paper's client/server shape;
+// scale-out experiments need N clients and M servers sharing bottleneck
+// links through routers. A Topology owns the event loop and every node:
+//
+//   Topology topo(seed);
+//   NodeId c = topo.add_host("client0");
+//   NodeId r = topo.add_router("core");
+//   NodeId s = topo.add_host("server0");
+//   topo.connect(c, r, access_cfg, access_cfg);   // c gains one address
+//   topo.connect(r, s, core_cfg, core_cfg);       // s gains one address
+//   topo.build_routes();                          // fills router tables
+//
+// Addressing: every connect() whose endpoint is a host assigns that host a
+// fresh interface address in a per-link /24 (10.<l/256+1>.<l%256>.1 for
+// side a, .2 for side b). Multihomed hosts simply connect() several times
+// and gain one address per access link -- exactly the shape MPTCP subflow
+// path-pinning expects, since hosts route outgoing traffic by source
+// address.
+//
+// Routing: build_routes() computes, for every host address A, a shortest
+// path (hop count, deterministic creation-order tie-break) from every
+// router to A's access link, and installs per-address next hops in each
+// Router. Per-address (not per-host) routing is what keeps a multihomed
+// host's subflows on distinct paths end to end. Hosts never forward, so
+// paths only traverse routers.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/network.h"
+
+namespace mptcp {
+
+/// Index of a node (host or router) within one Topology.
+using NodeId = size_t;
+
+class Topology {
+ public:
+  explicit Topology(uint64_t seed = 1) : seed_(seed) {}
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  // --- construction ------------------------------------------------------
+  NodeId add_host(const std::string& name);
+  NodeId add_router(const std::string& name);
+
+  /// Connects `a` and `b` with a full-duplex link pair (`cfg_ab` shapes the
+  /// a->b direction). Host endpoints gain a fresh interface address on this
+  /// link. Returns the link index. Loss seeds are perturbed by the topology
+  /// seed and link index so every link draws an independent stream.
+  size_t connect(NodeId a, NodeId b, const LinkConfig& cfg_ab,
+                 const LinkConfig& cfg_ba, std::string name = "");
+
+  /// (Re)computes every router's next-hop table; call after the graph is
+  /// complete (and again after adding links mid-experiment).
+  void build_routes();
+
+  // --- node access -------------------------------------------------------
+  size_t node_count() const { return nodes_.size(); }
+  bool is_router(NodeId n) const { return nodes_[n].router != nullptr; }
+  const std::string& node_name(NodeId n) const { return nodes_[n].name; }
+  Host& host(NodeId n) {
+    assert(nodes_[n].host != nullptr);
+    return *nodes_[n].host;
+  }
+  Router& router(NodeId n) {
+    assert(nodes_[n].router != nullptr);
+    return *nodes_[n].router;
+  }
+
+  /// The i-th address assigned to host `n`, in connect() order.
+  IpAddr addr(NodeId n, size_t i = 0) const {
+    return nodes_[n].addrs.at(i);
+  }
+  const std::vector<IpAddr>& addrs(NodeId n) const { return nodes_[n].addrs; }
+
+  // --- link access -------------------------------------------------------
+  size_t link_count() const { return links_.size(); }
+  Link& link_ab(size_t l) { return *links_[l].ab; }
+  Link& link_ba(size_t l) { return *links_[l].ba; }
+  NodeId link_node_a(size_t l) const { return links_[l].a; }
+  NodeId link_node_b(size_t l) const { return links_[l].b; }
+
+  /// Splices a middlebox into one direction of link `l` (a->b or b->a).
+  /// Repeated splices nest: each new element is inserted directly after
+  /// the link, so the most recently spliced element sees packets first.
+  void splice_ab(size_t l, Middlebox& element);
+  void splice_ba(size_t l, Middlebox& element);
+
+  /// Takes both directions of link `l` up/down, plus any host interface
+  /// attached to it (mobility at scale).
+  void set_link_up(size_t l, bool up);
+
+  // --- observability ------------------------------------------------------
+  EventLoop& loop() { return loop_; }
+  StatsRegistry& stats() { return loop_.stats(); }
+  std::string dump_stats() { return loop_.stats().to_json(); }
+
+ private:
+  struct Node {
+    std::string name;
+    std::unique_ptr<Host> host;      ///< exactly one of host/router is set
+    std::unique_ptr<Router> router;
+    std::vector<IpAddr> addrs;       ///< hosts only, in connect() order
+  };
+
+  struct LinkRec {
+    NodeId a;
+    NodeId b;
+    std::unique_ptr<Link> ab;  ///< direction a->b
+    std::unique_ptr<Link> ba;  ///< direction b->a
+  };
+
+  PacketSink* sink_of(NodeId n) {
+    return is_router(n) ? static_cast<PacketSink*>(nodes_[n].router.get())
+                        : static_cast<PacketSink*>(nodes_[n].host.get());
+  }
+
+  EventLoop loop_;
+  uint64_t seed_;
+  std::vector<Node> nodes_;
+  std::vector<LinkRec> links_;
+};
+
+}  // namespace mptcp

@@ -2,13 +2,30 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <type_traits>
 
 #include "app/bulk_app.h"
 #include "app/harness.h"
+#include "app/http_app.h"
+#include "app/workload.h"
 #include "core/mptcp_stack.h"
 
 namespace mptcp {
 namespace {
+
+// --- compile-time layering contract ------------------------------------
+// Both transports are StreamSockets; the application classes accept the
+// abstract socket (or a factory), never a concrete transport. This is the
+// "no app-layer code names TcpConnection/MptcpConnection" rule, checked
+// where the compiler can see it.
+static_assert(std::is_abstract_v<StreamSocket>);
+static_assert(std::is_base_of_v<StreamSocket, TcpConnection>);
+static_assert(std::is_base_of_v<StreamSocket, MptcpConnection>);
+static_assert(std::is_constructible_v<BulkSender, StreamSocket&>);
+static_assert(std::is_constructible_v<BulkReceiver, StreamSocket&>);
+static_assert(std::is_constructible_v<HttpServer, SocketFactory&, Port>);
+static_assert(!std::is_constructible_v<BulkSender, MptcpStack&>,
+              "apps take sockets, not stacks");
 
 struct ApiRig {
   ApiRig() {
@@ -122,6 +139,112 @@ TEST(ApiContract, ZeroByteWriteIsANoOp) {
   EXPECT_EQ(r.cconn->write({}), 0u);
   r.rig.loop().run_until(500 * kMillisecond);
   EXPECT_TRUE(r.cconn->established());
+}
+
+// --- SocketFactory: one app, either transport ---------------------------
+
+/// The same application code, byte for byte, runs over both transports;
+/// only the TransportConfig differs.
+void exercise_transport(TransportKind kind) {
+  Topology topo(21);
+  const NodeId a = topo.add_host("a");
+  const NodeId b = topo.add_host("b");
+  LinkConfig link;
+  link.rate_bps = 50e6;
+  link.prop_delay = 2 * kMillisecond;
+  link.buffer_bytes = 64 * 1024;
+  topo.connect(a, b, link, link);
+  topo.build_routes();
+
+  TransportConfig tc;
+  tc.kind = kind;
+  SocketFactory cf(topo.host(a), tc);
+  SocketFactory sf(topo.host(b), tc);
+  ASSERT_EQ(cf.kind(), kind);
+
+  std::unique_ptr<BulkReceiver> rx;
+  sf.listen(80, [&](StreamSocket& s) {
+    rx = std::make_unique<BulkReceiver>(s, /*verify=*/true);
+  });
+  StreamSocket& c = cf.connect(topo.addr(a), {topo.addr(b), 80});
+  BulkSender tx(c, 100 * 1000);
+  topo.loop().run_until(2 * kSecond);
+
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->bytes_received(), 100u * 1000u);
+  EXPECT_TRUE(rx->pattern_ok());
+  EXPECT_TRUE(rx->saw_eof());
+  // The typed escape hatches agree with the configured kind.
+  if (kind == TransportKind::kMptcp) {
+    EXPECT_NE(cf.as_mptcp(c), nullptr);
+    EXPECT_NE(cf.mptcp_stack(), nullptr);
+  } else {
+    EXPECT_EQ(cf.as_mptcp(c), nullptr);
+    EXPECT_NE(cf.as_tcp(c), nullptr);
+    EXPECT_EQ(cf.mptcp_stack(), nullptr);
+  }
+}
+
+TEST(ApiContract, SocketFactoryRunsAppOverTcp) {
+  exercise_transport(TransportKind::kTcp);
+}
+
+TEST(ApiContract, SocketFactoryRunsAppOverMptcp) {
+  exercise_transport(TransportKind::kMptcp);
+}
+
+TEST(ApiContract, ReleasedSocketsLeaveTheFactory) {
+  Topology topo;
+  const NodeId a = topo.add_host("a");
+  const NodeId b = topo.add_host("b");
+  LinkConfig link;
+  link.rate_bps = 50e6;
+  link.prop_delay = 1 * kMillisecond;
+  link.buffer_bytes = 64 * 1024;
+  topo.connect(a, b, link, link);
+  topo.build_routes();
+
+  for (TransportKind kind : {TransportKind::kTcp, TransportKind::kMptcp}) {
+    TransportConfig tc;
+    tc.kind = kind;
+    SocketFactory cf(topo.host(a), tc);
+    SocketFactory sf(topo.host(b), tc);
+    HttpServer server(sf, 80);
+    StreamSocket& c = cf.connect(topo.addr(a), {topo.addr(b), 80});
+    cf.release_when_closed(c);
+    c.on_connected = [&c] { c.write(make_http_request(5000)); };
+    c.on_readable = [&c] {
+      uint8_t buf[4096];
+      while (c.read(buf) > 0) {
+      }
+      if (c.at_eof()) c.close();
+    };
+    EXPECT_EQ(cf.live_sockets(), 1u);
+    topo.loop().run_until(topo.loop().now() + 3 * kSecond);
+    EXPECT_EQ(cf.live_sockets(), 0u)
+        << "closed+released socket still owned (kind "
+        << static_cast<int>(kind) << ")";
+    EXPECT_EQ(server.requests_served(), 1u);
+  }
+}
+
+// --- Topology construction contract -------------------------------------
+
+TEST(ApiContract, TopologyNamesAndLinksAreQueryable) {
+  Topology topo;
+  const NodeId h = topo.add_host("alpha");
+  const NodeId r = topo.add_router("beta");
+  LinkConfig link;
+  const size_t l = topo.connect(h, r, link, link);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_FALSE(topo.is_router(h));
+  EXPECT_TRUE(topo.is_router(r));
+  EXPECT_EQ(topo.node_name(h), "alpha");
+  EXPECT_EQ(topo.node_name(r), "beta");
+  EXPECT_EQ(topo.link_node_a(l), h);
+  EXPECT_EQ(topo.link_node_b(l), r);
+  EXPECT_EQ(topo.addrs(h).size(), 1u);
 }
 
 }  // namespace

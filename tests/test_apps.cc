@@ -7,6 +7,7 @@
 #include "app/harness.h"
 #include "app/http_app.h"
 #include "bond/bonding.h"
+#include "app/socket_factory.h"
 #include "core/mptcp_stack.h"
 
 namespace mptcp {
@@ -16,9 +17,9 @@ TEST(HttpApp, ClosedLoopServesRequestsOverMptcp) {
   TwoHostRig rig;
   rig.add_path(ethernet_path(1e9));
   rig.add_path(ethernet_path(1e9));
-  MptcpConfig cfg;
-  cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 256 * 1024;
-  MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);
+  TransportConfig cfg;
+  cfg.mptcp.meta_snd_buf_max = cfg.mptcp.meta_rcv_buf_max = 256 * 1024;
+  SocketFactory cs(rig.client(), cfg), ss(rig.server(), cfg);
   HttpServer server(ss, 80);
   HttpClientPool pool(cs, rig.client_addr(0), Endpoint{rig.server_addr(), 80},
                       /*clients=*/10, /*response_size=*/20 * 1000);
@@ -34,9 +35,9 @@ TEST(HttpApp, ClosedLoopServesRequestsOverMptcp) {
 TEST(HttpApp, WorksOverPlainTcpFallback) {
   TwoHostRig rig;
   rig.add_path(ethernet_path(1e9));
-  MptcpConfig cfg;
-  cfg.enabled = false;  // plain TCP on both sides
-  MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);
+  TransportConfig cfg;
+  cfg.kind = TransportKind::kTcp;  // plain TCP on both sides
+  SocketFactory cs(rig.client(), cfg), ss(rig.server(), cfg);
   HttpServer server(ss, 80);
   HttpClientPool pool(cs, rig.client_addr(0), Endpoint{rig.server_addr(), 80},
                       5, 50 * 1000);
@@ -50,9 +51,9 @@ TEST(HttpApp, LargeResponsesUseBothPaths) {
   TwoHostRig rig;
   rig.add_path(ethernet_path(1e9));
   rig.add_path(ethernet_path(1e9));
-  MptcpConfig cfg;
-  cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 512 * 1024;
-  MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);
+  TransportConfig cfg;
+  cfg.mptcp.meta_snd_buf_max = cfg.mptcp.meta_rcv_buf_max = 512 * 1024;
+  SocketFactory cs(rig.client(), cfg), ss(rig.server(), cfg);
   HttpServer server(ss, 80);
   HttpClientPool pool(cs, rig.client_addr(0), Endpoint{rig.server_addr(), 80},
                       20, 300 * 1000);

@@ -7,7 +7,7 @@
 #include "app/bulk_app.h"
 #include "app/harness.h"
 #include "app/http_app.h"
-#include "core/mptcp_stack.h"
+#include "app/socket_factory.h"
 
 namespace mptcp {
 namespace {
@@ -18,9 +18,9 @@ TEST(HttpRobustness, ClosedLoopSurvivesRandomLoss) {
   p.up.loss_prob = 0.01;
   p.down.loss_prob = 0.01;
   rig.add_path(p);
-  MptcpConfig cfg;
-  cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 128 * 1024;
-  MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);
+  TransportConfig cfg;
+  cfg.mptcp.meta_snd_buf_max = cfg.mptcp.meta_rcv_buf_max = 128 * 1024;
+  SocketFactory cs(rig.client(), cfg), ss(rig.server(), cfg);
   HttpServer server(ss, 80);
   HttpClientPool pool(cs, rig.client_addr(0), {rig.server_addr(), 80},
                       /*clients=*/8, /*size=*/40 * 1000);
@@ -36,9 +36,9 @@ TEST(HttpRobustness, ServerSurvivesClientPathFailureMidResponse) {
   TwoHostRig rig;
   rig.add_path(wifi_path());
   rig.add_path(threeg_path());
-  MptcpConfig cfg;
-  cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 256 * 1024;
-  MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);
+  TransportConfig cfg;
+  cfg.mptcp.meta_snd_buf_max = cfg.mptcp.meta_rcv_buf_max = 256 * 1024;
+  SocketFactory cs(rig.client(), cfg), ss(rig.server(), cfg);
   HttpServer server(ss, 80);
   HttpClientPool pool(cs, rig.client_addr(0), {rig.server_addr(), 80},
                       /*clients=*/3, /*size=*/400 * 1000);
@@ -56,10 +56,10 @@ TEST(HttpRobustness, ManySmallRequestsChurnConnectionsCleanly) {
   // them (live_connections stays bounded by the client count).
   TwoHostRig rig;
   rig.add_path(ethernet_path(1e9));
-  MptcpConfig cfg;
-  cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 64 * 1024;
-  cfg.tcp.time_wait = 5 * kMillisecond;
-  MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);
+  TransportConfig cfg;
+  cfg.mptcp.meta_snd_buf_max = cfg.mptcp.meta_rcv_buf_max = 64 * 1024;
+  cfg.mptcp.tcp.time_wait = 5 * kMillisecond;
+  SocketFactory cs(rig.client(), cfg), ss(rig.server(), cfg);
   HttpServer server(ss, 80);
   HttpClientPool pool(cs, rig.client_addr(0), {rig.server_addr(), 80},
                       /*clients=*/20, /*size=*/2000);
@@ -71,9 +71,9 @@ TEST(HttpRobustness, ManySmallRequestsChurnConnectionsCleanly) {
   // bound would be a leak.
   const double churn_per_sec = static_cast<double>(pool.completed()) / 2.0;
   const size_t tw_tail =
-      static_cast<size_t>(churn_per_sec * to_seconds(cfg.tcp.time_wait));
-  EXPECT_LE(cs.live_connections(), 3 * (20 + tw_tail));
-  EXPECT_LE(ss.live_connections(), 3 * (20 + tw_tail));
+      static_cast<size_t>(churn_per_sec * to_seconds(cfg.mptcp.tcp.time_wait));
+  EXPECT_LE(cs.live_sockets(), 3 * (20 + tw_tail));
+  EXPECT_LE(ss.live_sockets(), 3 * (20 + tw_tail));
 }
 
 TEST(HarnessUtil, PatternBytesAreDeterministicAndOffsetExact) {

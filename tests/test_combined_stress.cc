@@ -27,11 +27,9 @@ TEST_P(StressAlgo, TsoPlusRewriterPlusLossPlusEveryAlgorithm) {
 
   SegmentSplitter split(536);
   SeqRewriter rewriter;
-  rig.splice_up(0, &split, [&](PacketSink* t) { split.set_target(t); });
-  rig.splice_up(0, &rewriter.forward_sink(),
-                [&](PacketSink* t) { rewriter.set_forward_target(t); });
-  rig.splice_down(0, &rewriter.reverse_sink(),
-                  [&](PacketSink* t) { rewriter.set_reverse_target(t); });
+  rig.splice_up(0, split);
+  rig.splice_up(0, rewriter.forward_sink());
+  rig.splice_down(0, rewriter.reverse_sink());
 
   MptcpConfig cfg;
   cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 400 * 1000;

@@ -27,9 +27,9 @@ struct SniffedRig {
   SniffedRig() {
     rig.add_path(wifi_path());
     rig.add_path(threeg_path());
-    rig.splice_down(0, &down0, [&](PacketSink* t) { down0.set_target(t); });
-    rig.splice_down(1, &down1, [&](PacketSink* t) { down1.set_target(t); });
-    rig.splice_up(0, &up0, [&](PacketSink* t) { up0.set_target(t); });
+    rig.splice_down(0, down0);
+    rig.splice_down(1, down1);
+    rig.splice_up(0, up0);
     MptcpConfig cfg;
     cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 512 * 1024;
     cs = std::make_unique<MptcpStack>(rig.client(), cfg);
@@ -137,7 +137,7 @@ TEST(Invariants, NoNewSubflowsAfterChecksumFailure) {
   rig.add_path(wifi_path());
   rig.add_path(threeg_path());
   PayloadModifier alg(3);
-  rig.splice_up(1, &alg, [&](PacketSink* t) { alg.set_target(t); });
+  rig.splice_up(1, alg);
   MptcpConfig cfg;
   cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 512 * 1024;
   MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);

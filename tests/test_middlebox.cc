@@ -63,7 +63,7 @@ TEST(Middlebox, McCapableStrippedFromSynFallsBackCleanly) {
   MboxFixture f;
   OptionStripper strip(OptionStripper::Scope::kSynOnly,
                        OptionStripper::What::kMpCapable);
-  f.rig.splice_up(0, &strip, [&](PacketSink* t) { strip.set_target(t); });
+  f.rig.splice_up(0, strip);
   f.start();
   f.run();
   EXPECT_EQ(f.client_conn->mode(), MptcpMode::kFallbackTcp);
@@ -77,7 +77,7 @@ TEST(Middlebox, McCapableStrippedFromSynAckFallsBackCleanly) {
   MboxFixture f;
   OptionStripper strip(OptionStripper::Scope::kSynOnly,
                        OptionStripper::What::kMpCapable);
-  f.rig.splice_down(0, &strip, [&](PacketSink* t) { strip.set_target(t); });
+  f.rig.splice_down(0, strip);
   f.start();
   f.run();
   // The server believed MPTCP was on until the first data packet arrived
@@ -96,8 +96,8 @@ TEST(Middlebox, OptionsStrippedFromDataSegmentsFallsBack) {
                     OptionStripper::What::kAllMptcp);
   OptionStripper down(OptionStripper::Scope::kNonSynOnly,
                       OptionStripper::What::kAllMptcp);
-  f.rig.splice_up(0, &up, [&](PacketSink* t) { up.set_target(t); });
-  f.rig.splice_down(0, &down, [&](PacketSink* t) { down.set_target(t); });
+  f.rig.splice_up(0, up);
+  f.rig.splice_down(0, down);
   f.start();
   f.run();
   EXPECT_EQ(f.client_conn->mode(), MptcpMode::kFallbackTcp);
@@ -110,7 +110,7 @@ TEST(Middlebox, MpJoinStrippedLosesSubflowNotConnection) {
   MboxFixture f;
   OptionStripper strip(OptionStripper::Scope::kSynOnly,
                        OptionStripper::What::kMpJoin);
-  f.rig.splice_up(1, &strip, [&](PacketSink* t) { strip.set_target(t); });
+  f.rig.splice_up(1, strip);
   f.start();
   f.run();
   EXPECT_EQ(f.client_conn->mode(), MptcpMode::kMptcp);
@@ -128,10 +128,8 @@ TEST(Middlebox, MpJoinStrippedLosesSubflowNotConnection) {
 TEST(Middlebox, SequenceRewritingIsHarmless) {
   MboxFixture f;
   SeqRewriter rewriter;
-  f.rig.splice_up(0, &rewriter.forward_sink(),
-                  [&](PacketSink* t) { rewriter.set_forward_target(t); });
-  f.rig.splice_down(0, &rewriter.reverse_sink(),
-                    [&](PacketSink* t) { rewriter.set_reverse_target(t); });
+  f.rig.splice_up(0, rewriter.forward_sink());
+  f.rig.splice_down(0, rewriter.reverse_sink());
   f.start();
   f.run();
   EXPECT_EQ(f.client_conn->mode(), MptcpMode::kMptcp);
@@ -144,14 +142,13 @@ TEST(Middlebox, SequenceRewritingIsHarmless) {
 TEST(Middlebox, NatOnJoinPathStillJoinsByToken) {
   MboxFixture f;
   Nat nat(IpAddr(192, 0, 2, 1));
-  f.rig.splice_up(1, &nat.forward_sink(),
-                  [&](PacketSink* t) { nat.set_forward_target(t); });
+  f.rig.splice_up(1, nat.forward_sink());
   // Return traffic to the public address must route through the NAT: the
   // server sends via the 3G downlink, whose far end (the network) hands
   // it to the NAT's reverse side, which rewrites and re-injects.
   f.rig.route_server_to(nat.public_addr(), 1);
   f.rig.network().attach(nat.public_addr(), &nat.reverse_sink());
-  nat.set_reverse_target(&f.rig.network());
+  nat.reverse_sink().set_downstream(&f.rig.network());
   f.start();
   f.run();
   EXPECT_EQ(f.client_conn->mode(), MptcpMode::kMptcp);
@@ -168,7 +165,7 @@ TEST(Middlebox, TsoSplitterCopiesOptionsAndMappingsSurvive) {
   MboxFixture f;
   // Endpoints send 1460-byte segments; the splitter re-cuts them to 536.
   SegmentSplitter split(536);
-  f.rig.splice_up(0, &split, [&](PacketSink* t) { split.set_target(t); });
+  f.rig.splice_up(0, split);
   f.start();
   f.run();
   EXPECT_EQ(f.client_conn->mode(), MptcpMode::kMptcp);
@@ -181,7 +178,7 @@ TEST(Middlebox, CoalescerLosesMappingsButConnectionRecovers) {
   MboxFixture f;
   // Hold long enough to span back-to-back segment spacing at 8 Mbps.
   SegmentCoalescer coalesce(f.rig.loop(), 5 * kMillisecond);
-  f.rig.splice_up(0, &coalesce, [&](PacketSink* t) { coalesce.set_target(t); });
+  f.rig.splice_up(0, coalesce);
   f.start(150 * 1000);
   f.run(60 * kSecond);
   EXPECT_GT(coalesce.coalesced(), 0u);
@@ -199,9 +196,8 @@ TEST(Middlebox, CoalescerLosesMappingsButConnectionRecovers) {
 TEST(Middlebox, ProactiveAckerDoesNotCorruptTransfer) {
   MboxFixture f;
   ProactiveAcker proxy;
-  f.rig.splice_up(0, &proxy.forward_sink(),
-                  [&](PacketSink* t) { proxy.set_forward_target(t); });
-  proxy.set_reverse_target(&f.rig.network());
+  f.rig.splice_up(0, proxy.forward_sink());
+  proxy.reverse_sink().set_downstream(&f.rig.network());
   f.start();
   f.run();
   EXPECT_GT(proxy.forged_acks(), 0u);
@@ -213,10 +209,8 @@ TEST(Middlebox, ProactiveAckerDoesNotCorruptTransfer) {
 TEST(Middlebox, AckCorrectionSurvivedByDataAck) {
   MboxFixture f;
   ProactiveAcker proxy(ProactiveAcker::AckPolicy::kCorrectUnseen);
-  f.rig.splice_up(0, &proxy.forward_sink(),
-                  [&](PacketSink* t) { proxy.set_forward_target(t); });
-  f.rig.splice_down(0, &proxy.reverse_sink(),
-                    [&](PacketSink* t) { proxy.set_reverse_target(t); });
+  f.rig.splice_up(0, proxy.forward_sink());
+  f.rig.splice_down(0, proxy.reverse_sink());
   f.start();
   f.run();
   EXPECT_EQ(f.receiver->bytes_received(), kTransfer);
@@ -230,7 +224,7 @@ TEST(Middlebox, AckCorrectionSurvivedByDataAck) {
 TEST(Middlebox, PayloadModifierOnOneOfTwoPathsResetsThatSubflow) {
   MboxFixture f;
   PayloadModifier alg(/*interval=*/3);
-  f.rig.splice_up(1, &alg, [&](PacketSink* t) { alg.set_target(t); });
+  f.rig.splice_up(1, alg);
   f.start();
   f.run();
   EXPECT_GT(alg.segments_modified(), 0u);
@@ -245,7 +239,7 @@ TEST(Middlebox, PayloadModifierOnOneOfTwoPathsResetsThatSubflow) {
 TEST(Middlebox, PayloadModifierOnOnlyPathFallsBackAndDelivers) {
   MboxFixture f(1);
   PayloadModifier alg(/*interval=*/5);
-  f.rig.splice_up(0, &alg, [&](PacketSink* t) { alg.set_target(t); });
+  f.rig.splice_up(0, alg);
   f.start();
   f.run();
   EXPECT_GE(f.server_conn->meta_stats().checksum_failures, 1u);
@@ -261,7 +255,7 @@ TEST(Middlebox, ChecksumDisabledMissesModification) {
   // through -- the exact trade the paper allows for datacenters.
   MboxFixture f(1);
   PayloadModifier alg(/*interval=*/5);
-  f.rig.splice_up(0, &alg, [&](PacketSink* t) { alg.set_target(t); });
+  f.rig.splice_up(0, alg);
   MptcpConfig cfg;
   cfg.meta_snd_buf_max = cfg.meta_rcv_buf_max = 512 * 1024;
   cfg.dss_checksum = false;
@@ -290,7 +284,7 @@ TEST(Middlebox, SubflowStreamsPresentNoHolesToHoleDroppers) {
   // refuse data-after-hole are harmless.
   MboxFixture f;
   HoleDropper dropper;
-  f.rig.splice_up(0, &dropper, [&](PacketSink* t) { dropper.set_target(t); });
+  f.rig.splice_up(0, dropper);
   // Keep the path loss-free: bound outstanding data below the link buffer
   // so slow-start bursts cannot overflow it (holes from packet loss are a
   // different phenomenon from the design-induced holes of striping).

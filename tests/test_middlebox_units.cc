@@ -36,7 +36,7 @@ TEST(OptionStripperUnit, SynOnlyScopeLeavesDataSegmentsAlone) {
   OptionStripper strip(OptionStripper::Scope::kSynOnly,
                        OptionStripper::What::kAllMptcp);
   Capture out;
-  strip.set_target(&out);
+  strip.set_downstream(&out);
 
   TcpSegment syn = data_seg(1, 0, true);
   syn.options.push_back(MpCapableOption{0, true, 42ULL, std::nullopt});
@@ -58,7 +58,7 @@ TEST(OptionStripperUnit, AllUnknownKeepsStandardOptions) {
   OptionStripper strip(OptionStripper::Scope::kAllSegments,
                        OptionStripper::What::kAllUnknown);
   Capture out;
-  strip.set_target(&out);
+  strip.set_downstream(&out);
   TcpSegment seg = data_seg(1, 10);
   seg.options = {TimestampOption{1, 2}, SackOption{{{5, 9}}},
                  DssOption{7, std::nullopt, false, 0},
@@ -75,8 +75,8 @@ TEST(OptionStripperUnit, AllUnknownKeepsStandardOptions) {
 TEST(SeqRewriterUnit, ForwardShiftsConsistentlyAndReverseUndoes) {
   SeqRewriter rw(7);
   Capture fwd, rev;
-  rw.set_forward_target(&fwd);
-  rw.set_reverse_target(&rev);
+  rw.forward_sink().set_downstream(&fwd);
+  rw.reverse_sink().set_downstream(&rev);
 
   TcpSegment syn = data_seg(1000, 0, true);
   rw.forward_sink().deliver(syn);
@@ -104,7 +104,7 @@ TEST(SeqRewriterUnit, ForwardShiftsConsistentlyAndReverseUndoes) {
 TEST(SeqRewriterUnit, MidFlowSegmentsWithoutSynPassUntouched) {
   SeqRewriter rw(7);
   Capture fwd;
-  rw.set_forward_target(&fwd);
+  rw.forward_sink().set_downstream(&fwd);
   rw.forward_sink().deliver(data_seg(5000, 10));
   ASSERT_EQ(fwd.got.size(), 1u);
   EXPECT_EQ(fwd.got[0].seq, 5000u);
@@ -115,8 +115,8 @@ TEST(SeqRewriterUnit, MidFlowSegmentsWithoutSynPassUntouched) {
 TEST(NatUnit, StableMappingPerPrivateEndpoint) {
   Nat nat(IpAddr(192, 0, 2, 1));
   Capture fwd, rev;
-  nat.set_forward_target(&fwd);
-  nat.set_reverse_target(&rev);
+  nat.forward_sink().set_downstream(&fwd);
+  nat.reverse_sink().set_downstream(&rev);
 
   nat.forward_sink().deliver(data_seg(1, 0, true));
   nat.forward_sink().deliver(data_seg(2, 10));
@@ -136,7 +136,7 @@ TEST(NatUnit, StableMappingPerPrivateEndpoint) {
 TEST(NatUnit, UnknownInboundIsDropped) {
   Nat nat(IpAddr(192, 0, 2, 1));
   Capture rev;
-  nat.set_reverse_target(&rev);
+  nat.reverse_sink().set_downstream(&rev);
   TcpSegment stray;
   stray.tuple = {{IpAddr(8, 8, 8, 8), 53}, {IpAddr(192, 0, 2, 1), 7777}};
   nat.reverse_sink().deliver(stray);
@@ -148,7 +148,7 @@ TEST(NatUnit, UnknownInboundIsDropped) {
 TEST(SplitterUnit, CopiesOptionsToEveryPartAndAdjustsSeq) {
   SegmentSplitter split(400);
   Capture out;
-  split.set_target(&out);
+  split.set_downstream(&out);
   TcpSegment big = data_seg(1000, 1000);
   big.options.push_back(
       DssOption{5, DssMapping{99, 1, 1000, 0x1234}, false, 0});
@@ -172,7 +172,7 @@ TEST(SplitterUnit, CopiesOptionsToEveryPartAndAdjustsSeq) {
 TEST(SplitterUnit, SmallSegmentsPassThrough) {
   SegmentSplitter split(1460);
   Capture out;
-  split.set_target(&out);
+  split.set_downstream(&out);
   split.deliver(data_seg(1, 500));
   ASSERT_EQ(out.got.size(), 1u);
   EXPECT_EQ(split.splits(), 0u);
@@ -184,7 +184,7 @@ TEST(CoalescerUnit, MergesContiguousPairKeepingFirstOptions) {
   EventLoop loop;
   SegmentCoalescer co(loop, 10 * kMillisecond, 2);
   Capture out;
-  co.set_target(&out);
+  co.set_downstream(&out);
 
   TcpSegment a = data_seg(1000, 100);
   a.options.push_back(DssOption{1, DssMapping{10, 1, 100, 0x1}, false, 0});
@@ -206,7 +206,7 @@ TEST(CoalescerUnit, NonContiguousFlushesHeldSegment) {
   EventLoop loop;
   SegmentCoalescer co(loop, 10 * kMillisecond, 2);
   Capture out;
-  co.set_target(&out);
+  co.set_downstream(&out);
   co.deliver(data_seg(1000, 100));
   co.deliver(data_seg(5000, 100));  // gap: first must flush unmerged
   loop.run();
@@ -219,7 +219,7 @@ TEST(CoalescerUnit, HoldTimerFlushesLoneSegment) {
   EventLoop loop;
   SegmentCoalescer co(loop, 10 * kMillisecond, 2);
   Capture out;
-  co.set_target(&out);
+  co.set_downstream(&out);
   co.deliver(data_seg(1000, 100));
   loop.run_until(5 * kMillisecond);
   EXPECT_TRUE(out.got.empty());  // still held
@@ -232,8 +232,8 @@ TEST(CoalescerUnit, HoldTimerFlushesLoneSegment) {
 TEST(ProactiveAckerUnit, ForgesContiguousAcksOnly) {
   ProactiveAcker proxy;
   Capture fwd, rev;
-  proxy.set_forward_target(&fwd);
-  proxy.set_reverse_target(&rev);
+  proxy.forward_sink().set_downstream(&fwd);
+  proxy.reverse_sink().set_downstream(&rev);
 
   proxy.forward_sink().deliver(data_seg(1000, 0, true));  // SYN
   proxy.forward_sink().deliver(data_seg(1001, 100));
@@ -252,8 +252,8 @@ TEST(ProactiveAckerUnit, ForgesContiguousAcksOnly) {
 TEST(ProactiveAckerUnit, CorrectsAcksBeyondObserved) {
   ProactiveAcker proxy(ProactiveAcker::AckPolicy::kCorrectUnseen);
   Capture fwd, rev;
-  proxy.set_forward_target(&fwd);
-  proxy.set_reverse_target(&rev);
+  proxy.forward_sink().set_downstream(&fwd);
+  proxy.reverse_sink().set_downstream(&rev);
   proxy.forward_sink().deliver(data_seg(1000, 0, true));
   proxy.forward_sink().deliver(data_seg(1001, 100));
   // The real receiver acks data the proxy never saw.
@@ -271,7 +271,7 @@ TEST(ProactiveAckerUnit, CorrectsAcksBeyondObserved) {
 TEST(PayloadModifierUnit, FlipsBytesAtConfiguredInterval) {
   PayloadModifier alg(2);
   Capture out;
-  alg.set_target(&out);
+  alg.set_downstream(&out);
   for (int i = 0; i < 4; ++i) alg.deliver(data_seg(1000 + i * 100, 100));
   EXPECT_EQ(alg.segments_modified(), 2u);
   EXPECT_EQ(out.got[0].payload[50], 0xAB);         // untouched
@@ -281,7 +281,7 @@ TEST(PayloadModifierUnit, FlipsBytesAtConfiguredInterval) {
 TEST(HoleDropperUnit, DropsDataAfterGapUntilFilled) {
   HoleDropper hd;
   Capture out;
-  hd.set_target(&out);
+  hd.set_downstream(&out);
   hd.deliver(data_seg(1000, 0, true));   // SYN: expect 1001
   hd.deliver(data_seg(1001, 100));       // ok
   hd.deliver(data_seg(1201, 100));       // hole at 1101: dropped

@@ -81,8 +81,8 @@ MptcpConfig cfg1m() {
 TEST(MptcpWire, HandshakeCarriesKeysAndEcho) {
   Rig2 r(cfg1m(), cfg1m(), 1);
   Sniffer up, down;
-  r.rig.splice_up(0, &up, [&](PacketSink* t) { up.set_target(t); });
-  r.rig.splice_down(0, &down, [&](PacketSink* t) { down.set_target(t); });
+  r.rig.splice_up(0, up);
+  r.rig.splice_down(0, down);
   r.connect();
   r.rig.loop().run_until(5 * kSecond);
 
@@ -125,8 +125,7 @@ TEST(MptcpWire, TokensAreSha1OfKeys) {
 TEST(MptcpWire, JoinSynCarriesServerTokenAndFreshNonce) {
   Rig2 r(cfg1m(), cfg1m(), 2);
   Sniffer join_path;
-  r.rig.splice_up(1, &join_path,
-                  [&](PacketSink* t) { join_path.set_target(t); });
+  r.rig.splice_up(1, join_path);
   r.connect();
   r.rig.loop().run_until(2 * kSecond);
 
@@ -143,7 +142,7 @@ TEST(MptcpWire, JoinSynCarriesServerTokenAndFreshNonce) {
 TEST(MptcpWire, DataSegmentsCarryDssWithRelativeMappings) {
   Rig2 r(cfg1m(), cfg1m(), 1);
   Sniffer up;
-  r.rig.splice_up(0, &up, [&](PacketSink* t) { up.set_target(t); });
+  r.rig.splice_up(0, up);
   r.connect(50 * 1000);
   r.rig.loop().run_until(5 * kSecond);
 
@@ -167,7 +166,7 @@ TEST(MptcpWire, DataSegmentsCarryDssWithRelativeMappings) {
 TEST(MptcpWire, DataFinSignaledInDss) {
   Rig2 r(cfg1m(), cfg1m(), 1);
   Sniffer up;
-  r.rig.splice_up(0, &up, [&](PacketSink* t) { up.set_target(t); });
+  r.rig.splice_up(0, up);
   r.connect(10 * 1000);
   r.rig.loop().run_until(5 * kSecond);
   bool saw_data_fin = false;
@@ -186,8 +185,7 @@ TEST(MptcpWire, DataFinSignaledInDss) {
 TEST(MptcpAuth, CorruptedJoinMacRejectsSubflow) {
   Rig2 r(cfg1m(), cfg1m(), 2);
   JoinMacCorrupter corrupter;
-  r.rig.splice_down(1, &corrupter,
-                    [&](PacketSink* t) { corrupter.set_target(t); });
+  r.rig.splice_down(1, corrupter);
   r.connect(200 * 1000);
   r.rig.loop().run_until(10 * kSecond);
 

@@ -113,7 +113,7 @@ TEST(PayloadCow, ModifierRewriteLeavesSendBufferIntact) {
 
   PayloadModifier alg;
   CapturingSink sink;
-  alg.set_target(&sink);
+  alg.set_downstream(&sink);
   alg.deliver(std::move(seg));
   ASSERT_EQ(alg.segments_modified(), 1u);
   ASSERT_EQ(sink.segs.size(), 1u);

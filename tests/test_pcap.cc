@@ -39,7 +39,7 @@ TEST(Pcap, CapturesAnMptcpTransferInValidFormat) {
     PcapWriter writer(path);
     ASSERT_TRUE(writer.ok());
     PcapTap tap(rig.loop(), writer);
-    rig.splice_up(0, &tap, [&](PacketSink* t) { tap.set_target(t); });
+    rig.splice_up(0, tap);
 
     MptcpConfig cfg;
     MptcpStack cs(rig.client(), cfg), ss(rig.server(), cfg);

@@ -38,7 +38,7 @@ TEST(SynFallback, RetransmittedSynOmitsMpCapableAndConnects) {
   TwoHostRig rig;
   rig.add_path(wifi_path());
   MptcpSynBlackhole hole;
-  rig.splice_up(0, &hole, [&](PacketSink* t) { hole.set_target(t); });
+  rig.splice_up(0, hole);
 
   MptcpConfig cfg;
   cfg.tcp.syn_option_fallback_after = 2;  // drop options from the 2nd rtx on

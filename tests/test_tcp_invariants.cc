@@ -26,7 +26,7 @@ TEST(TcpInvariants, AckAndWindowRightEdgeMonotone) {
   TwoHostRig rig;
   rig.add_path(wifi_path());
   Sniffer down;
-  rig.splice_down(0, &down, [&](PacketSink* t) { down.set_target(t); });
+  rig.splice_down(0, down);
   TcpConfig cfg;
   cfg.rcv_buf_max = 512 * 1024;  // wscale 3
   cfg.snd_buf_max = 512 * 1024;
@@ -65,7 +65,7 @@ TEST(TcpInvariants, SackBlocksAlwaysAboveCumulativeAck) {
   lossy.up.loss_prob = 0.02;
   rig.add_path(lossy);
   Sniffer down;
-  rig.splice_down(0, &down, [&](PacketSink* t) { down.set_target(t); });
+  rig.splice_down(0, down);
   TcpConfig cfg;
   std::unique_ptr<TcpConnection> sconn;
   std::unique_ptr<BulkReceiver> rx;
