@@ -24,10 +24,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/meta_recv.h"
 #include "middlebox/segment_splitter.h"
 #include "net/checksum.h"
+#include "net/payload.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
+#include "tcp/tcp_buffers.h"
 
 namespace mptcp {
 namespace bench {
@@ -184,6 +187,99 @@ double bench_checksum_gbps(size_t block, uint64_t iters) {
   return static_cast<double>(block) * static_cast<double>(iters) / secs / 1e9;
 }
 
+// --- 4. meta out-of-order insert (per algorithm) --------------------------
+
+// The paper's receiver-CPU scenario: several subflows each deliver
+// contiguous data-sequence runs, but the runs interleave in DSN space, so
+// the connection-level queue stays long-lived. Chunks arrive round-robin
+// across subflows (each subflow's next chunk is adjacent to its previous
+// one -- the shortcut-friendly pattern), and the queue is only drained once
+// it reaches kQueueCap chunks, keeping the scan distance realistic.
+double bench_meta_insert_per_sec(RecvAlgo algo, uint64_t target_inserts) {
+  constexpr size_t kSubflows = 4;
+  constexpr size_t kRun = 16;        // chunks per contiguous per-subflow run
+  constexpr size_t kQueueCap = 1024; // drain threshold (chunks)
+  MetaReceiveQueue q(algo);
+  const Payload proto(kMss, 0xCD);
+  uint64_t inserted = 0;
+  uint64_t dsn_base = 0;
+  uint64_t rcv_nxt = 0;
+  WallTimer w;
+  while (inserted < target_inserts) {
+    for (size_t c = 0; c < kRun; ++c) {
+      for (size_t sf = 0; sf < kSubflows; ++sf) {
+        const uint64_t dsn = dsn_base + (sf * kRun + c) * kMss;
+        q.insert(dsn, proto, sf, rcv_nxt);
+        ++inserted;
+      }
+    }
+    dsn_base += kSubflows * kRun * kMss;
+    if (q.chunk_count() >= kQueueCap) {
+      while (auto chunk = q.pop_ready(rcv_nxt)) {
+        rcv_nxt = chunk->dsn + chunk->bytes.size();
+      }
+    }
+  }
+  return static_cast<double>(inserted) / w.seconds();
+}
+
+// --- 5. end-to-end delivery bandwidth -------------------------------------
+
+// The full receive funnel past reassembly: meta OOO insert, in-order pop,
+// app-queue push, and 16 KiB consume steps -- the path every delivered byte
+// takes. Reported in GB/s like the checksum kernel.
+double bench_deliver_gbps(uint64_t total_bytes) {
+  constexpr size_t kBurst = 32;  // chunks landing before each drain
+  MetaReceiveQueue q(RecvAlgo::kShortcuts);
+  RecvQueue rx;
+  const Payload proto(kMss, 0x5A);
+  uint64_t rcv_nxt = 0;
+  uint64_t delivered = 0;
+  WallTimer w;
+  while (delivered < total_bytes) {
+    // Even chunks of the burst land first, then the odd ones: every other
+    // insert fills a gap, exercising placement rather than pure append.
+    for (size_t c = 0; c < kBurst; c += 2) {
+      q.insert(rcv_nxt + c * kMss, proto, c % 2, rcv_nxt);
+    }
+    for (size_t c = 1; c < kBurst; c += 2) {
+      q.insert(rcv_nxt + c * kMss, proto, c % 2, rcv_nxt);
+    }
+    while (auto chunk = q.pop_ready(rcv_nxt)) {
+      rcv_nxt = chunk->dsn + chunk->bytes.size();
+      rx.push(std::move(chunk->bytes));
+    }
+    while (!rx.empty()) {
+      const size_t n = std::min<size_t>(rx.size(), 16 * 1024);
+      rx.consume(n);
+      delivered += n;
+    }
+  }
+  return static_cast<double>(delivered) / w.seconds() / 1e9;
+}
+
+// --- 6. app-queue read vs backlog (O(bytes read) tripwire) ----------------
+
+// Small reads from a deep receive queue. With the chunked queue a 256-byte
+// read costs O(256) no matter how much is buffered behind it; the old flat
+// buffer's front-erase made it O(backlog). The small/large pair must stay
+// within noise of each other -- a gap reintroduces the O(n) front-erase.
+double bench_recv_queue_read_per_sec(size_t backlog_bytes, uint64_t reads) {
+  RecvQueue q;
+  const Payload chunk(kMss, 0x42);
+  while (q.size() < backlog_bytes) q.push(chunk);
+  uint8_t buf[256];
+  uint64_t guard = 0;
+  WallTimer w;
+  for (uint64_t i = 0; i < reads; ++i) {
+    guard += q.read(buf);
+    while (q.size() < backlog_bytes) q.push(chunk);
+  }
+  const double secs = w.seconds();
+  if (guard == 0) std::fprintf(stderr, "recv queue read: no bytes\n");
+  return static_cast<double>(reads) / secs;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace mptcp
@@ -208,6 +304,28 @@ int main(int argc, char** argv) {
   const double gbps_mss = bench_checksum_gbps(kMss, 400'000);
   std::printf("checksum_gbps (1460B)     %14.3f\n", gbps_mss);
 
+  constexpr uint64_t kMetaInserts = 200'000;
+  const double meta_regular =
+      bench_meta_insert_per_sec(RecvAlgo::kRegular, kMetaInserts);
+  std::printf("meta_insert_regular       %14.0f\n", meta_regular);
+  const double meta_tree =
+      bench_meta_insert_per_sec(RecvAlgo::kTree, kMetaInserts);
+  std::printf("meta_insert_tree          %14.0f\n", meta_tree);
+  const double meta_shortcuts =
+      bench_meta_insert_per_sec(RecvAlgo::kShortcuts, kMetaInserts);
+  std::printf("meta_insert_shortcuts     %14.0f\n", meta_shortcuts);
+  const double meta_allshortcuts =
+      bench_meta_insert_per_sec(RecvAlgo::kAllShortcuts, kMetaInserts);
+  std::printf("meta_insert_allshortcuts  %14.0f\n", meta_allshortcuts);
+  const double deliver = bench_deliver_gbps(uint64_t{2} << 30);
+  std::printf("deliver_gbps              %14.3f\n", deliver);
+  const double read_small =
+      bench_recv_queue_read_per_sec(size_t{1} << 20, 500'000);
+  std::printf("read_small_backlog        %14.0f\n", read_small);
+  const double read_large =
+      bench_recv_queue_read_per_sec(size_t{64} << 20, 500'000);
+  std::printf("read_large_backlog        %14.0f\n", read_large);
+
   const bool ok = write_json(
       out_path, {{"events_per_sec", events_per_sec},
                  {"timer_rearms_per_sec", timer_churn},
@@ -215,6 +333,13 @@ int main(int argc, char** argv) {
                  {"split_segments_per_sec", split},
                  {"checksum_gbps", gbps64k},
                  {"checksum_mss_gbps", gbps_mss},
+                 {"meta_insert_regular_per_sec", meta_regular},
+                 {"meta_insert_tree_per_sec", meta_tree},
+                 {"meta_insert_shortcuts_per_sec", meta_shortcuts},
+                 {"meta_insert_allshortcuts_per_sec", meta_allshortcuts},
+                 {"deliver_gbps", deliver},
+                 {"meta_read_small_backlog_per_sec", read_small},
+                 {"meta_read_large_backlog_per_sec", read_large},
                  {"wall_seconds_total", total.seconds()}});
   if (!ok) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());

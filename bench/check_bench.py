@@ -70,8 +70,13 @@ def main() -> int:
             note = "tracked, not gated"
             print(f"{'skipped':>10}  {k:<28} base={base[k]:<12.6g} "
                   f"new={new[k]:<12.6g} ({note})")
+        elif k in new:
+            # A metric the benchmark gained since the baseline was
+            # recorded: it becomes gated once the baseline is refreshed.
+            print(f"{'baselined':>10}  {k:<28} new={new[k]:<12.6g} "
+                  f"(new metric; baseline on next refresh)")
         else:
-            print(f"{'skipped':>10}  {k:<28} (not in both files)")
+            print(f"{'skipped':>10}  {k:<28} (dropped from benchmark)")
 
     return 1 if failed else 0
 

@@ -79,7 +79,7 @@ void run_algo(benchmark::State& state, RecvAlgo algo) {
         // Fast path: in-order data never touches the ooo queue.
         rcv_nxt += a.len;
       } else {
-        q.insert(a.dsn, std::vector<uint8_t>(a.len, 0), a.subflow, rcv_nxt);
+        q.insert(a.dsn, Payload(a.len, 0), a.subflow, rcv_nxt);
       }
       // Drain whatever is now in order, as the real receiver does.
       while (auto c = q.pop_ready(rcv_nxt)) rcv_nxt += c->bytes.size();
@@ -99,8 +99,7 @@ void run_algo(benchmark::State& state, RecvAlgo algo) {
       if (a.dsn == rcv_nxt) {
         rcv_nxt += a.len;
       } else {
-        probe.insert(a.dsn, std::vector<uint8_t>(a.len, 0), a.subflow,
-                     rcv_nxt);
+        probe.insert(a.dsn, Payload(a.len, 0), a.subflow, rcv_nxt);
       }
       while (auto c = probe.pop_ready(rcv_nxt)) rcv_nxt += c->bytes.size();
     }

@@ -89,11 +89,14 @@ class BlockReceiver {
   uint64_t blocks_completed() const { return blocks_; }
 
  private:
+  static constexpr size_t kHeader = 8;  ///< timestamp bytes per block
+
   void drain();
 
   EventLoop& loop_;
   StreamSocket& sock_;
-  std::vector<uint8_t> pending_;
+  size_t block_pos_ = 0;     ///< bytes of the current block consumed
+  uint8_t header_[kHeader];  ///< the current block's timestamp bytes
   Distribution delays_;
   uint64_t blocks_ = 0;
 };

@@ -132,10 +132,14 @@ void HttpClientPool::start_request(Client& c) {
 }
 
 void HttpClientPool::on_client_readable(Client& c) {
-  uint8_t buf[16 * 1024];
+  // The client discards the response body, so consume() releases it
+  // without copying. 16 KiB steps: the window-update cadence (and so the
+  // packet trace) follows how much each call releases, and this matches
+  // the historical read-loop quantum.
   for (;;) {
-    const size_t n = c.sock->read(buf);
+    const size_t n = std::min<size_t>(c.sock->readable_bytes(), 16 * 1024);
     if (n == 0) break;
+    c.sock->consume(n);
     c.received += n;
   }
   if (!c.done && c.sock->at_eof()) {

@@ -57,8 +57,9 @@ bool ReceiverMappings::add(MappingRecord rec) {
   return true;
 }
 
-ReceiverMappings::Output ReceiverMappings::feed(
-    uint64_t ssn, std::span<const uint8_t> bytes, bool verify_checksums) {
+ReceiverMappings::Output ReceiverMappings::feed(uint64_t ssn,
+                                                const Payload& bytes,
+                                                bool verify_checksums) {
   Output out;
   size_t offset = 0;
   while (offset < bytes.size()) {
@@ -86,39 +87,43 @@ ReceiverMappings::Output ReceiverMappings::feed(
     const MappingRecord& rec = tracked->rec;
     const size_t len = static_cast<size_t>(
         std::min<uint64_t>(rec.ssn_end(), ssn + bytes.size()) - cur);
-    const auto fragment = bytes.subspan(offset, len);
+    Payload fragment = bytes.subview(offset, len);
 
     if (verify_checksums && rec.checksum) {
       // Bytes arrive in subflow order, so coverage within a mapping is
       // strictly sequential; hold everything until the mapping completes
-      // and its checksum verifies.
+      // and its checksum verifies. Fragments are held as shared views;
+      // the sum is accumulated per fragment (add_bytes, not the cached
+      // folded_sum: a fragment at an odd offset within the mapping needs
+      // its bytes summed with the opposite parity).
       if (cur == rec.ssn_begin + tracked->covered) {
-        tracked->acc.add_bytes(fragment);
-        tracked->held.insert(tracked->held.end(), fragment.begin(),
-                             fragment.end());
+        tracked->acc.add_bytes(fragment.span());
         held_bytes_ += fragment.size();
+        tracked->held_size += fragment.size();
+        tracked->held.push_back(std::move(fragment));
         tracked->covered += len;
         if (tracked->covered == rec.length) {
           const uint16_t computed = dss_checksum_from_partial(
               rec.dsn, rec.ssn_rel, static_cast<uint16_t>(rec.length),
               tracked->acc.fold());
-          held_bytes_ -= tracked->held.size();
+          held_bytes_ -= tracked->held_size;
+          // One fragment (the common case) passes through as a shared
+          // view; a straddled mapping is gathered once, here.
+          Payload assembled = Payload::concat(tracked->held);
           if (computed == *rec.checksum) {
-            out.deliver.emplace_back(rec.dsn, std::move(tracked->held));
+            out.deliver.emplace_back(rec.dsn, std::move(assembled));
           } else {
-            out.checksum_failures.emplace_back(rec,
-                                               std::move(tracked->held));
+            out.checksum_failures.emplace_back(rec, std::move(assembled));
           }
           tracked->held.clear();
+          tracked->held_size = 0;
         }
       }
       // Out-of-sequence re-feeds (retransmitted subflow data) were already
       // counted; ignore.
     } else {
-      // No checksum in use: deliver immediately.
-      out.deliver.emplace_back(
-          rec.dsn_for(cur),
-          std::vector<uint8_t>(fragment.begin(), fragment.end()));
+      // No checksum in use: deliver the shared view immediately.
+      out.deliver.emplace_back(rec.dsn_for(cur), std::move(fragment));
     }
     offset += len;
   }
@@ -128,7 +133,7 @@ ReceiverMappings::Output ReceiverMappings::feed(
 void ReceiverMappings::release_below(uint64_t ssn) {
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->second.rec.ssn_end() <= ssn) {
-      held_bytes_ -= it->second.held.size();
+      held_bytes_ -= it->second.held_size;
       it = map_.erase(it);
     } else {
       break;

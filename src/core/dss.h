@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/checksum.h"
+#include "net/payload.h"
 
 namespace mptcp {
 
@@ -82,20 +83,21 @@ class ReceiverMappings {
 
   /// Result of feeding in-order subflow bytes.
   struct Output {
-    /// Data ready for the connection level: (dsn, bytes).
-    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> deliver;
+    /// Data ready for the connection level: (dsn, bytes). The payloads
+    /// are shared views of the fed bytes (zero-copy) except when a
+    /// checksummed mapping straddled segments, in which case its held
+    /// fragments are concatenated once on completion.
+    std::vector<std::pair<uint64_t, Payload>> deliver;
     /// Mappings whose checksum failed, with the (modified) bytes so the
     /// caller can decide between reject-and-reset and fallback-deliver.
-    std::vector<std::pair<MappingRecord, std::vector<uint8_t>>>
-        checksum_failures;
+    std::vector<std::pair<MappingRecord, Payload>> checksum_failures;
   };
 
   /// Feeds `bytes` of in-order subflow data starting at absolute subflow
   /// seq `ssn`. Bytes with no covering mapping are dropped and counted
   /// (section 3.3.5: only mapped bytes are acknowledged at the data
   /// level).
-  Output feed(uint64_t ssn, std::span<const uint8_t> bytes,
-              bool verify_checksums);
+  Output feed(uint64_t ssn, const Payload& bytes, bool verify_checksums);
 
   /// Drops mapping state fully below `ssn` (delivered).
   void release_below(uint64_t ssn);
@@ -109,8 +111,12 @@ class ReceiverMappings {
   struct Tracked {
     MappingRecord rec;
     ChecksumAccumulator acc;
-    std::vector<uint8_t> held;  ///< buffered bytes awaiting verification
-    uint64_t covered = 0;       ///< bytes of the mapping fed so far
+    /// Buffered fragment views awaiting verification (shared with the
+    /// subflow's reassembly payloads; concatenated only on completion,
+    /// and zero-copy when the mapping arrived in one fragment).
+    std::vector<Payload> held;
+    size_t held_size = 0;  ///< total bytes across `held`
+    uint64_t covered = 0;  ///< bytes of the mapping fed so far
   };
   std::map<uint64_t, Tracked> map_;  ///< keyed by ssn_begin
   uint64_t unmapped_bytes_ = 0;

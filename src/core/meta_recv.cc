@@ -207,8 +207,8 @@ void MetaReceiveQueue::rebuild_batch_heads() {
 // Public operations.
 // ---------------------------------------------------------------------------
 
-void MetaReceiveQueue::insert(uint64_t dsn, std::vector<uint8_t> bytes,
-                              size_t subflow_id, uint64_t floor) {
+void MetaReceiveQueue::insert(uint64_t dsn, Payload bytes, size_t subflow_id,
+                              uint64_t floor) {
   ++stats_.inserts;
   if (bytes.empty()) return;
   if (dsn + bytes.size() <= floor) {
@@ -218,7 +218,7 @@ void MetaReceiveQueue::insert(uint64_t dsn, std::vector<uint8_t> bytes,
   if (dsn < floor) {
     const size_t cut = static_cast<size_t>(floor - dsn);
     stats_.duplicate_bytes += cut;
-    bytes.erase(bytes.begin(), bytes.begin() + cut);
+    bytes.remove_prefix(cut);
     dsn = floor;
   }
 
@@ -235,12 +235,14 @@ void MetaReceiveQueue::insert(uint64_t dsn, std::vector<uint8_t> bytes,
       }
       const size_t cut = static_cast<size_t>(pe - dsn);
       stats_.duplicate_bytes += cut;
-      bytes.erase(bytes.begin(), bytes.begin() + cut);
+      bytes.remove_prefix(cut);
       dsn = pe;
     }
   }
 
-  // Interleave with successors, splitting as needed.
+  // Interleave with successors, splitting as needed. Trims and splits are
+  // subview operations on the shared payload -- no byte is copied no
+  // matter how pathological the overlap pattern.
   List::iterator last_placed = chunks_.end();
   while (!bytes.empty() && pos != chunks_.end() &&
          pos->dsn < dsn + bytes.size()) {
@@ -250,18 +252,15 @@ void MetaReceiveQueue::insert(uint64_t dsn, std::vector<uint8_t> bytes,
       const size_t cut = static_cast<size_t>(
           std::min<uint64_t>(pe - dsn, bytes.size()));
       stats_.duplicate_bytes += cut;
-      bytes.erase(bytes.begin(), bytes.begin() + cut);
+      bytes.remove_prefix(cut);
       dsn = pe;
       ++pos;
     } else {
       // Place our head up to the successor, then skip its coverage.
       const size_t head_len = static_cast<size_t>(pos->dsn - dsn);
-      MetaChunk head{dsn,
-                     std::vector<uint8_t>(bytes.begin(),
-                                          bytes.begin() + head_len),
-                     subflow_id};
+      MetaChunk head{dsn, bytes.subview(0, head_len), subflow_id};
       last_placed = place(pos, std::move(head));
-      bytes.erase(bytes.begin(), bytes.begin() + head_len);
+      bytes.remove_prefix(head_len);
       dsn += head_len;
     }
   }
@@ -290,7 +289,7 @@ std::optional<MetaChunk> MetaReceiveQueue::pop_ready(uint64_t rcv_nxt) {
     if (chunk.dsn < rcv_nxt) {
       const size_t cut = static_cast<size_t>(rcv_nxt - chunk.dsn);
       stats_.duplicate_bytes += cut;
-      chunk.bytes.erase(chunk.bytes.begin(), chunk.bytes.begin() + cut);
+      chunk.bytes.remove_prefix(cut);
       chunk.dsn = rcv_nxt;
     }
     return chunk;

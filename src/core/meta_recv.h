@@ -23,15 +23,15 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
-#include <vector>
 
 #include "core/mptcp_types.h"
+#include "net/payload.h"
 
 namespace mptcp {
 
 struct MetaChunk {
   uint64_t dsn = 0;
-  std::vector<uint8_t> bytes;
+  Payload bytes;  ///< shared view of the subflow's delivered payload
   size_t subflow_id = 0;
 
   uint64_t end() const { return dsn + bytes.size(); }
@@ -55,9 +55,9 @@ class MetaReceiveQueue {
   explicit MetaReceiveQueue(RecvAlgo algo) : algo_(algo) {}
 
   /// Inserts an out-of-order chunk. Anything below `floor` (already
-  /// delivered) and any overlap with stored chunks is dropped.
-  void insert(uint64_t dsn, std::vector<uint8_t> bytes, size_t subflow_id,
-              uint64_t floor);
+  /// delivered) and any overlap with stored chunks is dropped; trims and
+  /// splits are O(1) subviews of the arriving payload, never byte copies.
+  void insert(uint64_t dsn, Payload bytes, size_t subflow_id, uint64_t floor);
 
   /// Pops the chunk at the head if it starts at or below rcv_nxt
   /// (trimmed to start exactly there).

@@ -99,6 +99,7 @@ void MptcpConnection::register_stats() {
     out.emit("delivered_bytes", static_cast<double>(delivered_bytes_));
     out.emit("snd_mem_bytes", static_cast<double>(meta_snd_.size()));
     out.emit("rcv_mem_bytes", static_cast<double>(receiver_memory()));
+    out.emit("rx_app_queue_bytes", static_cast<double>(app_rx_.size()));
     out.emit("subflows", static_cast<double>(subflows_.size()));
     out.emit("mode", static_cast<double>(mode_));
   });
@@ -257,11 +258,16 @@ size_t MptcpConnection::write(std::span<const uint8_t> bytes) {
 }
 
 size_t MptcpConnection::read(std::span<uint8_t> out) {
-  const size_t n = std::min(out.size(), app_rx_.size());
-  std::copy(app_rx_.begin(), app_rx_.begin() + n, out.begin());
-  app_rx_.erase(app_rx_.begin(), app_rx_.begin() + n);
+  const size_t n = app_rx_.read(out);
   if (n > 0) maybe_send_meta_window_update();
   return n;
+}
+
+void MptcpConnection::consume(size_t n) {
+  n = std::min(n, app_rx_.size());
+  if (n == 0) return;
+  app_rx_.consume(n);
+  maybe_send_meta_window_update();
 }
 
 void MptcpConnection::close() {
@@ -472,7 +478,7 @@ void MptcpConnection::sf_dss_ack(uint64_t data_ack, uint64_t window_bytes) {
 }
 
 void MptcpConnection::sf_mapped_data(MptcpSubflow* sf, uint64_t dsn,
-                                     std::vector<uint8_t> bytes) {
+                                     Payload bytes) {
   if (bytes.empty()) return;
   const uint64_t end = dsn + bytes.size();
   if (end <= rcv_nxt_d_) {
@@ -481,8 +487,7 @@ void MptcpConnection::sf_mapped_data(MptcpSubflow* sf, uint64_t dsn,
   }
   if (dsn < rcv_nxt_d_) {
     meta_stats_.rx_duplicate_bytes += static_cast<size_t>(rcv_nxt_d_ - dsn);
-    bytes.erase(bytes.begin(),
-                bytes.begin() + static_cast<size_t>(rcv_nxt_d_ - dsn));
+    bytes.remove_prefix(static_cast<size_t>(rcv_nxt_d_ - dsn));
     dsn = rcv_nxt_d_;
   }
   // Connection-level window enforcement: data beyond the advertised
@@ -492,7 +497,7 @@ void MptcpConnection::sf_mapped_data(MptcpSubflow* sf, uint64_t dsn,
       rcv_nxt_d_ + meta_receive_window() + config_.tcp.mss;
   if (dsn >= max_accept) return;
   if (end > max_accept) {
-    bytes.resize(static_cast<size_t>(max_accept - dsn));
+    bytes.truncate(static_cast<size_t>(max_accept - dsn));
   }
 
   if (dsn == rcv_nxt_d_) {
@@ -507,14 +512,14 @@ void MptcpConnection::sf_mapped_data(MptcpSubflow* sf, uint64_t dsn,
   check_data_fin_consumption();
 }
 
-void MptcpConnection::sf_fallback_data(std::vector<uint8_t> bytes) {
+void MptcpConnection::sf_fallback_data(Payload bytes) {
   rcv_nxt_d_ += bytes.size();  // keeps DATA_ACK bookkeeping harmless
   deliver_in_order(std::move(bytes));
 }
 
-void MptcpConnection::deliver_in_order(std::vector<uint8_t> bytes) {
+void MptcpConnection::deliver_in_order(Payload bytes) {
   delivered_bytes_ += bytes.size();
-  app_rx_.insert(app_rx_.end(), bytes.begin(), bytes.end());
+  app_rx_.push(std::move(bytes));
   if (on_readable) on_readable();
 }
 
@@ -552,7 +557,7 @@ void MptcpConnection::sf_data_fin(uint64_t dsn) {
 
 void MptcpConnection::sf_checksum_failure(MptcpSubflow* sf,
                                           const MappingRecord& rec,
-                                          std::vector<uint8_t> data) {
+                                          Payload data) {
   ++meta_stats_.checksum_failures;
   if (usable_subflow_count() > 1) {
     // Section 3.3.6: reject the modified segment and terminate the

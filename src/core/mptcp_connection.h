@@ -34,6 +34,7 @@
 #include "core/meta_recv.h"
 #include "core/mptcp_types.h"
 #include "core/subflow.h"
+#include "tcp/tcp_buffers.h"
 #include "tcp/tcp_socket.h"
 
 namespace mptcp {
@@ -61,6 +62,11 @@ class MptcpConnection final : public StreamSocket {
   // --- StreamSocket ----------------------------------------------------------
   size_t write(std::span<const uint8_t> bytes) override;
   size_t read(std::span<uint8_t> out) override;
+  /// Zero-copy scatter read over the meta receive queue's chunks.
+  size_t peek_views(std::span<std::span<const uint8_t>> out) const override {
+    return app_rx_.peek_views(out);
+  }
+  void consume(size_t n) override;
   size_t readable_bytes() const override { return app_rx_.size(); }
   bool at_eof() const override {
     return data_fin_delivered_ && app_rx_.empty();
@@ -144,11 +150,10 @@ class MptcpConnection final : public StreamSocket {
   void sf_peer_fin(MptcpSubflow* sf);
   void sf_acked(MptcpSubflow* sf);
   void sf_dss_ack(uint64_t data_ack, uint64_t window_bytes);
-  void sf_mapped_data(MptcpSubflow* sf, uint64_t dsn,
-                      std::vector<uint8_t> bytes);
-  void sf_fallback_data(std::vector<uint8_t> bytes);
+  void sf_mapped_data(MptcpSubflow* sf, uint64_t dsn, Payload bytes);
+  void sf_fallback_data(Payload bytes);
   void sf_checksum_failure(MptcpSubflow* sf, const MappingRecord& rec,
-                           std::vector<uint8_t> data);
+                           Payload data);
   void sf_data_fin(uint64_t dsn);
   void sf_add_addr(const AddAddrOption& opt);
   void sf_remove_addr(uint8_t addr_id);
@@ -174,7 +179,7 @@ class MptcpConnection final : public StreamSocket {
   void register_stats();
   void init_client_keys();
   void fallback_to_tcp(const char* reason);
-  void deliver_in_order(std::vector<uint8_t> bytes);
+  void deliver_in_order(Payload bytes);
   void drain_meta_ooo();
   void check_data_fin_consumption();
   void maybe_finish_teardown();
@@ -242,7 +247,7 @@ class MptcpConnection final : public StreamSocket {
   // --- receiver state ---------------------------------------------------------
   MetaReceiveQueue meta_recv_;
   uint64_t rcv_nxt_d_ = 0;
-  std::deque<uint8_t> app_rx_;
+  RecvQueue app_rx_;
   size_t meta_rcv_capacity_ = 0;
   uint64_t delivered_bytes_ = 0;
   uint64_t last_advertised_meta_window_ = 0;

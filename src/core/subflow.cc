@@ -355,12 +355,11 @@ void MptcpSubflow::handle_dss(const DssOption& dss, const TcpSegment& seg) {
 
 void MptcpSubflow::deliver_data(uint64_t seq, Payload bytes) {
   if (meta_.mode() == MptcpMode::kFallbackTcp) {
-    meta_.sf_fallback_data(std::vector<uint8_t>(bytes.begin(), bytes.end()));
+    meta_.sf_fallback_data(std::move(bytes));
     return;
   }
   const uint64_t end = seq + bytes.size();
-  auto out =
-      rx_mappings_.feed(seq, bytes.span(), meta_.dss_checksum_enabled());
+  auto out = rx_mappings_.feed(seq, bytes, meta_.dss_checksum_enabled());
   for (auto& [dsn, data] : out.deliver) {
     meta_.sf_mapped_data(this, dsn, std::move(data));
   }

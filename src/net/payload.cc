@@ -3,15 +3,95 @@
 #include <cassert>
 #include <cstring>
 #include <new>
+#include <vector>
 
 #include "net/checksum.h"
 
+// The pool hides use-after-free from AddressSanitizer (a recycled block is
+// live memory), so compile it out under ASan and let every allocation hit
+// the instrumented heap.
+#if defined(__SANITIZE_ADDRESS__)
+#define MPTCP_PAYLOAD_POOL 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MPTCP_PAYLOAD_POOL 0
+#endif
+#endif
+#ifndef MPTCP_PAYLOAD_POOL
+#define MPTCP_PAYLOAD_POOL 1
+#endif
+
 namespace mptcp {
 
+namespace {
+
+// The two allocation sizes that dominate capacity-scale runs: MSS-sized
+// carves off the send buffer (1460 and change) and the 16 KiB chunks apps
+// write. Everything else goes straight to the heap.
+constexpr size_t kSmallCap = 2048;
+constexpr size_t kLargeCap = 16384;
+// Free-list depth limits: enough to absorb steady-state churn without
+// letting a transient burst pin memory forever.
+constexpr size_t kSmallMax = 8192;
+constexpr size_t kLargeMax = 2048;
+
+std::vector<void*> g_free_small;
+std::vector<void*> g_free_large;
+Payload::PoolStats g_pool_stats;
+
+}  // namespace
+
 Payload::Buf* Payload::alloc_buf(size_t n) {
-  Buf* b = static_cast<Buf*>(::operator new(sizeof(Buf) + n));
+  size_t cap = n;
+#if MPTCP_PAYLOAD_POOL
+  std::vector<void*>* list = nullptr;
+  if (n <= kSmallCap) {
+    cap = kSmallCap;
+    list = &g_free_small;
+  } else if (n <= kLargeCap) {
+    cap = kLargeCap;
+    list = &g_free_large;
+  }
+  if (list != nullptr) {
+    if (!list->empty()) {
+      ++g_pool_stats.hits;
+      Buf* b = static_cast<Buf*>(list->back());
+      list->pop_back();
+      b->refs = 1;
+      b->cap = static_cast<uint32_t>(cap);
+      return b;
+    }
+    ++g_pool_stats.misses;
+  }
+#endif
+  Buf* b = static_cast<Buf*>(::operator new(sizeof(Buf) + cap));
   b->refs = 1;
+  b->cap = static_cast<uint32_t>(cap);
   return b;
+}
+
+void Payload::free_buf(Buf* b) {
+#if MPTCP_PAYLOAD_POOL
+  if (b->cap == kSmallCap && g_free_small.size() < kSmallMax) {
+    g_free_small.push_back(b);
+    return;
+  }
+  if (b->cap == kLargeCap && g_free_large.size() < kLargeMax) {
+    g_free_large.push_back(b);
+    return;
+  }
+#endif
+  ::operator delete(static_cast<void*>(b));
+}
+
+const Payload::PoolStats& Payload::pool_stats() { return g_pool_stats; }
+
+void Payload::pool_reset() {
+  for (void* p : g_free_small) ::operator delete(p);
+  for (void* p : g_free_large) ::operator delete(p);
+  g_free_small.clear();
+  g_free_large.clear();
+  g_pool_stats = PoolStats{};
 }
 
 void Payload::assign(size_t n, uint8_t value) {
@@ -82,6 +162,24 @@ void Payload::append(std::span<const uint8_t> more) {
   off_ = 0;
   len_ += more.size();
   sum_valid_ = false;
+}
+
+Payload Payload::concat(std::span<const Payload> parts) {
+  if (parts.empty()) return {};
+  if (parts.size() == 1) return parts.front();
+  size_t total = 0;
+  for (const Payload& p : parts) total += p.size();
+  Payload out;
+  if (total == 0) return out;
+  out.buf_ = alloc_buf(total);
+  out.len_ = total;
+  size_t at = 0;
+  for (const Payload& p : parts) {
+    if (p.empty()) continue;
+    std::memcpy(out.buf_->bytes() + at, p.data(), p.size());
+    at += p.size();
+  }
+  return out;
 }
 
 uint8_t* Payload::mutable_data() {

@@ -37,6 +37,8 @@ class Payload {
   /// Copies `bytes` into a fresh buffer (creation-time copy; all further
   /// sharing is free).
   explicit Payload(std::span<const uint8_t> bytes) { assign(bytes); }
+  /// `n` copies of `value` (benchmark/test convenience).
+  Payload(size_t n, uint8_t value) { assign(n, value); }
   explicit Payload(const std::vector<uint8_t>& bytes) {
     assign(std::span<const uint8_t>(bytes));
   }
@@ -121,6 +123,12 @@ class Payload {
   void append(std::span<const uint8_t> more);
   void append(const Payload& more) { append(more.span()); }
 
+  /// Concatenates `parts` into one view. A single part is returned as a
+  /// shared view (zero-copy, the common case for a one-fragment DSS
+  /// mapping); multiple parts are gathered with one allocation and one
+  /// copy per byte.
+  static Payload concat(std::span<const Payload> parts);
+
   /// Copy-on-write: returns a writable pointer to this view's bytes,
   /// copying them into a private buffer first if the buffer is shared.
   /// Invalidates the cached checksum.
@@ -137,6 +145,24 @@ class Payload {
     return buf_ != nullptr && buf_ == o.buf_;
   }
   uint32_t buffer_refs() const { return buf_ != nullptr ? buf_->refs : 0; }
+  /// Usable capacity of the backing allocation (>= size() + offset; pooled
+  /// blocks round up to their size class).
+  size_t buffer_capacity() const { return buf_ != nullptr ? buf_->cap : 0; }
+
+  // --- block pool ----------------------------------------------------------
+  // alloc_buf() recycles freed blocks of the two hot allocation sizes
+  // (MSS-sized carves and app-write/16 KiB chunks) through process-wide
+  // free lists, so capacity-scale workloads stop hammering the allocator.
+  // Disabled under AddressSanitizer so lifetime bugs stay visible.
+  struct PoolStats {
+    uint64_t hits = 0;    ///< allocations served from a free list
+    uint64_t misses = 0;  ///< poolable sizes that went to the heap
+  };
+  static const PoolStats& pool_stats();
+  /// Frees every pooled block and zeroes the stats. Called by EventLoop
+  /// construction so each simulation starts from a cold allocator and
+  /// exports per-run pool stats deterministically.
+  static void pool_reset();
 
   bool operator==(const Payload& o) const;
   bool operator!=(const Payload& o) const { return !(*this == o); }
@@ -146,6 +172,7 @@ class Payload {
   /// (single allocation). Non-atomic: single-threaded simulator.
   struct Buf {
     uint32_t refs;
+    uint32_t cap;  ///< usable byte capacity (pool size class or exact size)
     uint8_t* bytes() { return reinterpret_cast<uint8_t*>(this + 1); }
     const uint8_t* bytes() const {
       return reinterpret_cast<const uint8_t*>(this + 1);
@@ -153,10 +180,9 @@ class Payload {
   };
 
   static Buf* alloc_buf(size_t n);
+  static void free_buf(Buf* b);
   void release() {
-    if (buf_ != nullptr && --buf_->refs == 0) {
-      ::operator delete(static_cast<void*>(buf_));
-    }
+    if (buf_ != nullptr && --buf_->refs == 0) free_buf(buf_);
   }
 
   Buf* buf_ = nullptr;

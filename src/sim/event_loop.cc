@@ -2,9 +2,21 @@
 
 #include <utility>
 
+#include "net/payload.h"
+
 namespace mptcp {
 
 EventLoop::EventLoop() {
+  // Each simulation starts with a cold payload pool and fresh pool stats,
+  // so identical runs in one process export identical stats (determinism
+  // tests compare stats JSON across in-process runs).
+  Payload::pool_reset();
+  stats_.sampled("payload.pool.hits", [] {
+    return static_cast<double>(Payload::pool_stats().hits);
+  });
+  stats_.sampled("payload.pool.misses", [] {
+    return static_cast<double>(Payload::pool_stats().misses);
+  });
   stats_.sampled("sim.events_scheduled",
                  [this] { return static_cast<double>(ev_scheduled_); });
   stats_.sampled("sim.events_cancelled",

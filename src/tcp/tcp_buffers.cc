@@ -2,8 +2,54 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace mptcp {
+
+// ---------------------------------------------------------------------------
+// RecvQueue
+// ---------------------------------------------------------------------------
+
+size_t RecvQueue::read(std::span<uint8_t> out) {
+  size_t copied = 0;
+  while (copied < out.size() && !chunks_.empty()) {
+    Payload& front = chunks_.front();
+    const size_t n = std::min(out.size() - copied, front.size());
+    std::memcpy(out.data() + copied, front.data(), n);
+    copied += n;
+    if (n == front.size()) {
+      chunks_.pop_front();
+    } else {
+      front.remove_prefix(n);
+    }
+  }
+  bytes_ -= copied;
+  return copied;
+}
+
+size_t RecvQueue::peek_views(std::span<std::span<const uint8_t>> out) const {
+  size_t n = 0;
+  for (const Payload& c : chunks_) {
+    if (n == out.size()) break;
+    out[n++] = c.span();
+  }
+  return n;
+}
+
+void RecvQueue::consume(size_t n) {
+  assert(n <= bytes_ && "consume past the buffered bytes");
+  bytes_ -= n;
+  while (n > 0) {
+    Payload& front = chunks_.front();
+    if (front.size() <= n) {
+      n -= front.size();
+      chunks_.pop_front();
+    } else {
+      front.remove_prefix(n);
+      n = 0;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // SendBuffer

@@ -96,6 +96,45 @@ class SendBuffer {
   std::deque<Chunk> chunks_;  ///< contiguous, sorted by start
 };
 
+/// In-order receive queue between reassembly and the application: a deque
+/// of delivered Payload views. read() copies into the caller's span and
+/// advances by trimming view prefixes -- O(bytes read), never a memmove of
+/// what stays buffered. peek_views()/consume() expose the same bytes as a
+/// scatter list so zero-copy consumers (bulk/http sinks, the workload
+/// engine) can count or parse without any copy at all.
+class RecvQueue {
+ public:
+  void push(Payload bytes) {
+    if (bytes.empty()) return;
+    bytes_ += bytes.size();
+    chunks_.push_back(std::move(bytes));
+  }
+
+  /// Copies up to `out.size()` bytes into `out`; returns bytes copied.
+  size_t read(std::span<uint8_t> out);
+
+  /// Fills `out` with views of the queued chunks, front first; returns
+  /// how many views were written. The views stay valid until the next
+  /// consume()/read().
+  size_t peek_views(std::span<std::span<const uint8_t>> out) const;
+
+  /// Drops the first `n` queued bytes (n <= size()).
+  void consume(size_t n);
+
+  size_t size() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+  void clear() {
+    chunks_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::deque<Payload> chunks_;
+  size_t bytes_ = 0;
+};
+
 /// Out-of-order reassembly queue keyed by unwrapped sequence number.
 /// Overlapping inserts are trimmed so stored chunks are disjoint; trims
 /// are zero-copy subviews of the arriving payload.

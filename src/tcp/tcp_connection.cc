@@ -194,11 +194,16 @@ size_t TcpConnection::write_shared(Payload bytes) {
 }
 
 size_t TcpConnection::read(std::span<uint8_t> out) {
-  const size_t n = std::min(out.size(), app_rx_.size());
-  std::copy(app_rx_.begin(), app_rx_.begin() + n, out.begin());
-  app_rx_.erase(app_rx_.begin(), app_rx_.begin() + n);
+  const size_t n = app_rx_.read(out);
   if (n > 0) maybe_send_window_update();
   return n;
+}
+
+void TcpConnection::consume(size_t n) {
+  n = std::min(n, app_rx_.size());
+  if (n == 0) return;
+  app_rx_.consume(n);
+  maybe_send_window_update();
 }
 
 void TcpConnection::close() {
@@ -995,7 +1000,7 @@ void TcpConnection::on_established() {}
 
 void TcpConnection::deliver_data(uint64_t, Payload bytes) {
   stats_.bytes_delivered += bytes.size();
-  app_rx_.insert(app_rx_.end(), bytes.begin(), bytes.end());
+  app_rx_.push(std::move(bytes));
   if (on_readable) on_readable();
 }
 

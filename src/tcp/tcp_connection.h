@@ -69,6 +69,11 @@ class TcpConnection : public SegmentHandler, public StreamSocket {
 
   /// Reads up to out.size() in-order bytes; returns bytes read.
   size_t read(std::span<uint8_t> out) override;
+  /// Zero-copy scatter read over the receive queue's chunks.
+  size_t peek_views(std::span<std::span<const uint8_t>> out) const override {
+    return app_rx_.peek_views(out);
+  }
+  void consume(size_t n) override;
   size_t readable_bytes() const override { return app_rx_.size(); }
   /// True once the peer's FIN has been delivered and the queue is drained.
   bool at_eof() const override { return fin_delivered_ && app_rx_.empty(); }
@@ -302,7 +307,7 @@ class TcpConnection : public SegmentHandler, public StreamSocket {
   uint64_t rcv_nxt_ = 0;
   uint8_t rcv_wscale_ = 0;  ///< shift peer applies; we advertise >> this
   ReassemblyQueue reassembly_;
-  std::deque<uint8_t> app_rx_;
+  RecvQueue app_rx_;
   size_t rcv_buf_capacity_ = 0;
   bool fin_received_ = false;
   bool fin_delivered_ = false;

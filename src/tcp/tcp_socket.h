@@ -22,6 +22,16 @@ class StreamSocket {
   /// Reads up to out.size() in-order bytes; returns bytes read.
   virtual size_t read(std::span<uint8_t> out) = 0;
 
+  /// Zero-copy read, scatter form: fills `out` with views of the buffered
+  /// in-order data (front first) and returns how many views were written.
+  /// The views borrow the receive queue's storage -- valid only until the
+  /// next consume()/read(). Pair with consume() to release what was used.
+  virtual size_t peek_views(std::span<std::span<const uint8_t>> out) const = 0;
+
+  /// Discards the first `n` readable bytes (n <= readable_bytes()),
+  /// opening receive window just like read() does.
+  virtual void consume(size_t n) = 0;
+
   virtual size_t readable_bytes() const = 0;
 
   /// True once the peer has finished sending and all data has been read.

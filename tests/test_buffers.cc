@@ -177,5 +177,69 @@ TEST_P(ReassemblyShuffle, RandomArrivalOrderReassemblesExactly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReassemblyShuffle,
                          ::testing::Range<uint64_t>(1, 21));
 
+// --- RecvQueue -----------------------------------------------------------------
+
+std::vector<uint8_t> seq_bytes(size_t start, size_t n) {
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(start + i);
+  return out;
+}
+
+TEST(RecvQueue, ReadCrossesChunkBoundaries) {
+  RecvQueue q;
+  q.push(Payload(seq_bytes(0, 10)));
+  q.push(Payload(seq_bytes(10, 10)));
+  q.push(Payload(seq_bytes(20, 10)));
+  EXPECT_EQ(q.size(), 30u);
+  uint8_t buf[17];
+  ASSERT_EQ(q.read(buf), 17u);
+  for (size_t i = 0; i < 17; ++i) EXPECT_EQ(buf[i], i);
+  EXPECT_EQ(q.size(), 13u);
+  ASSERT_EQ(q.read(buf), 13u);  // short read drains the rest
+  for (size_t i = 0; i < 13; ++i) EXPECT_EQ(buf[i], 17 + i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RecvQueue, PeekViewsExposeStoredBytesWithoutCopy) {
+  RecvQueue q;
+  Payload a(seq_bytes(0, 8));
+  Payload b(seq_bytes(8, 8));
+  q.push(a);
+  q.push(b);
+  std::span<const uint8_t> views[4];
+  ASSERT_EQ(q.peek_views(views), 2u);
+  EXPECT_EQ(views[0].data(), a.data());  // the queue's chunk IS the payload
+  EXPECT_EQ(views[1].data(), b.data());
+  EXPECT_EQ(views[0].size() + views[1].size(), q.size());
+  // A smaller destination gets the front views only.
+  std::span<const uint8_t> one[1];
+  ASSERT_EQ(q.peek_views(one), 1u);
+  EXPECT_EQ(one[0].data(), a.data());
+}
+
+TEST(RecvQueue, ConsumeDropsPartialChunksAndKeepsOrder) {
+  RecvQueue q;
+  q.push(Payload(seq_bytes(0, 10)));
+  q.push(Payload(seq_bytes(10, 10)));
+  q.consume(4);  // into the first chunk
+  EXPECT_EQ(q.size(), 16u);
+  uint8_t buf[16];
+  ASSERT_EQ(q.read(buf), 16u);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(buf[i], 4 + i);
+  q.consume(0);  // no-op on empty
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RecvQueue, EmptyPushIsIgnoredAndClearResets) {
+  RecvQueue q;
+  q.push(Payload());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.chunk_count(), 0u);
+  q.push(Payload(seq_bytes(0, 5)));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
 }  // namespace
 }  // namespace mptcp

@@ -86,10 +86,10 @@ TEST(ReceiverMappings, InOrderFeedDeliversMappedData) {
   ReceiverMappings m;
   const auto payload = fill(0, 1000);
   m.add(make_rec(5000, 777000, 1000, &payload));
-  auto out = m.feed(5000, payload, /*verify=*/true);
+  auto out = m.feed(5000, Payload(payload), /*verify=*/true);
   ASSERT_EQ(out.deliver.size(), 1u);
   EXPECT_EQ(out.deliver[0].first, 777000u);
-  EXPECT_EQ(out.deliver[0].second, payload);
+  EXPECT_EQ(out.deliver[0].second, Payload(payload));
   EXPECT_TRUE(out.checksum_failures.empty());
 }
 
@@ -97,10 +97,10 @@ TEST(ReceiverMappings, SegmentedFeedHeldUntilMappingCompletes) {
   ReceiverMappings m;
   const auto payload = fill(0, 3000);
   m.add(make_rec(1000, 50, 3000, &payload));
-  auto out1 = m.feed(1000, {payload.data(), 1460}, true);
+  auto out1 = m.feed(1000, Payload({payload.data(), 1460}), true);
   EXPECT_TRUE(out1.deliver.empty());
   EXPECT_EQ(m.held_bytes(), 1460u);
-  auto out2 = m.feed(2460, {payload.data() + 1460, 1540}, true);
+  auto out2 = m.feed(2460, Payload({payload.data() + 1460, 1540}), true);
   ASSERT_EQ(out2.deliver.size(), 1u);
   EXPECT_EQ(out2.deliver[0].second.size(), 3000u);
   EXPECT_EQ(m.held_bytes(), 0u);
@@ -111,7 +111,7 @@ TEST(ReceiverMappings, CorruptedMappingReportedNotDelivered) {
   auto payload = fill(0, 500);
   m.add(make_rec(1000, 9000, 500, &payload));
   payload[100] ^= 0xff;  // middlebox modification
-  auto out = m.feed(1000, payload, true);
+  auto out = m.feed(1000, Payload(payload), true);
   EXPECT_TRUE(out.deliver.empty());
   ASSERT_EQ(out.checksum_failures.size(), 1u);
   EXPECT_EQ(out.checksum_failures[0].first.dsn, 9000u);
@@ -126,7 +126,7 @@ TEST(ReceiverMappings, UnmappedBytesAreDroppedAndCounted) {
   // 300 unmapped bytes (a coalescer ate their DSS), then mapped data.
   std::vector<uint8_t> wire = fill(7, 300);
   wire.insert(wire.end(), mapped.begin(), mapped.end());
-  auto out = m.feed(1700, wire, true);
+  auto out = m.feed(1700, Payload(wire), true);
   ASSERT_EQ(out.deliver.size(), 1u);
   EXPECT_EQ(out.deliver[0].first, 70000u);
   EXPECT_EQ(m.unmapped_bytes(), 300u);
@@ -136,7 +136,7 @@ TEST(ReceiverMappings, ChecksumsDisabledDeliversImmediately) {
   ReceiverMappings m;
   const auto payload = fill(0, 2920);
   m.add(make_rec(1000, 10, 2920));  // no checksum
-  auto out = m.feed(1000, {payload.data(), 1460}, false);
+  auto out = m.feed(1000, Payload({payload.data(), 1460}), false);
   ASSERT_EQ(out.deliver.size(), 1u);
   EXPECT_EQ(out.deliver[0].first, 10u);
   EXPECT_EQ(out.deliver[0].second.size(), 1460u);
@@ -158,7 +158,7 @@ TEST(ReceiverMappings, FeedSpanningTwoMappings) {
   m.add(make_rec(1400, 500, 600, &p2));
   std::vector<uint8_t> wire = p1;
   wire.insert(wire.end(), p2.begin(), p2.end());
-  auto out = m.feed(1000, wire, true);
+  auto out = m.feed(1000, Payload(wire), true);
   ASSERT_EQ(out.deliver.size(), 2u);
   EXPECT_EQ(out.deliver[0].first, 100u);
   EXPECT_EQ(out.deliver[1].first, 500u);
@@ -168,7 +168,7 @@ TEST(ReceiverMappings, ReleaseBelowReclaimsHeldBytes) {
   ReceiverMappings m;
   const auto payload = fill(0, 1000);
   m.add(make_rec(1000, 50, 1000, &payload));
-  m.feed(1000, {payload.data(), 500}, true);  // half fed, half held
+  m.feed(1000, Payload({payload.data(), 500}), true);  // half fed, half held
   EXPECT_EQ(m.held_bytes(), 500u);
   m.release_below(2000);
   EXPECT_EQ(m.held_bytes(), 0u);

@@ -4,8 +4,10 @@
 // the sender's retransmit buffer through the shared bytes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "core/meta_recv.h"
 #include "middlebox/payload_modifier.h"
 #include "net/checksum.h"
 #include "net/payload.h"
@@ -89,6 +91,41 @@ TEST(Payload, MutableDataInvalidatesCachedSum) {
   EXPECT_EQ(after, ones_complement_sum(a.span()));
 }
 
+TEST(Payload, ConcatSharesSinglePartAndAssemblesMany) {
+  const std::vector<uint8_t> bytes = pattern(300);
+  Payload whole(bytes);
+  const Payload one_part[] = {whole};
+  Payload one = Payload::concat(one_part);
+  EXPECT_TRUE(one.shares_buffer_with(whole));  // no copy for one fragment
+
+  const Payload parts[] = {whole.subview(0, 100), Payload(),
+                           whole.subview(100, 200)};
+  Payload two = Payload::concat(parts);
+  EXPECT_EQ(two, whole);
+  EXPECT_FALSE(two.shares_buffer_with(whole));  // assembled fresh
+
+  EXPECT_TRUE(Payload::concat(std::span<const Payload>{}).empty());
+}
+
+TEST(PayloadPool, ResetZeroesStatsAndRecyclesHotSizes) {
+  Payload::pool_reset();
+  EXPECT_EQ(Payload::pool_stats().hits, 0u);
+  EXPECT_EQ(Payload::pool_stats().misses, 0u);
+  { Payload a(1460, 0x11); }  // small class block, freed to the pool
+  Payload b(2048, 0x22);      // same class: recycled when the pool is on
+  const Payload::PoolStats& s = Payload::pool_stats();
+  // Under sanitizers the pool is compiled out and both counters stay 0;
+  // otherwise the first allocation misses and the second reuses its block.
+  if (s.misses != 0) {
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_GE(b.buffer_capacity(), 2048u);  // rounded up to the size class
+  }
+  Payload::pool_reset();
+  EXPECT_EQ(Payload::pool_stats().hits, 0u);
+  EXPECT_EQ(Payload::pool_stats().misses, 0u);
+}
+
 // --- The COW property the retransmit path depends on ------------------------
 
 class CapturingSink : public PacketSink {
@@ -130,6 +167,49 @@ TEST(PayloadCow, ModifierRewriteLeavesSendBufferIntact) {
   for (size_t i = 0; i < 500; ++i) {
     ASSERT_EQ(rtx[i], original[i]) << "retransmit buffer corrupted at " << i;
   }
+}
+
+TEST(PayloadCow, MiddleboxRewriteCannotReachAnyQueueSharingTheBytes) {
+  // One wire payload fans out into every structure that can hold it at
+  // once on the zero-copy receive path: the sender's retransmit buffer,
+  // a subflow reassembly queue, the connection-level out-of-order queue,
+  // and the in-order app queue. A middlebox rewriting the in-flight copy
+  // must not be visible through any of them.
+  const std::vector<uint8_t> original = pattern(1460);
+  Payload wire{std::span<const uint8_t>(original)};
+
+  SendBuffer snd(1000);
+  ASSERT_EQ(snd.append_shared(wire, size_t{1} << 20), wire.size());
+  ReassemblyQueue reasm;
+  reasm.insert(5000, wire);
+  MetaReceiveQueue meta(RecvAlgo::kShortcuts);
+  meta.insert(9000, wire, /*subflow_id=*/0, /*floor=*/0);
+  RecvQueue app;
+  app.push(wire);
+
+  TcpSegment seg;
+  seg.tuple = {{IpAddr(10, 0, 0, 1), 1}, {IpAddr(10, 0, 0, 2), 2}};
+  seg.payload = wire;
+  PayloadModifier alg;
+  CapturingSink sink;
+  alg.set_downstream(&sink);
+  alg.deliver(std::move(seg));
+  ASSERT_EQ(alg.segments_modified(), 1u);
+  const Payload& mangled = sink.segs[0].payload;
+  EXPECT_NE(mangled[730], original[730]);
+
+  const Payload want{std::span<const uint8_t>(original)};
+  EXPECT_EQ(snd.slice_out(1000, 1460), want);
+  auto popped = reasm.pop_ready(5000);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->second, want);
+  auto chunk = meta.pop_ready(9000);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->bytes, want);
+  std::vector<uint8_t> out(original.size());
+  ASSERT_EQ(app.read(out), original.size());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), original.begin()));
+  EXPECT_EQ(wire, want);  // the shared view itself is untouched
 }
 
 }  // namespace
