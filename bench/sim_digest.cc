@@ -4,6 +4,7 @@
 //
 // Usage: sim_digest [--scenario two-host|capacity] [--seed N]
 //                   [--duration-ms M] [--stats FILE]
+//                   [--scheduler lowest-rtt|round-robin|redundant|backup-aware]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,23 @@ int main(int argc, char** argv) {
                      mptcp::kMillisecond;
     } else if (std::strcmp(argv[i], "--stats") == 0 && i + 1 < argc) {
       stats_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scheduler") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      bool known = false;
+      for (mptcp::SchedulerPolicy p :
+           {mptcp::SchedulerPolicy::kLowestRtt,
+            mptcp::SchedulerPolicy::kRoundRobin,
+            mptcp::SchedulerPolicy::kRedundant,
+            mptcp::SchedulerPolicy::kBackupAware}) {
+        if (mptcp::to_string(p) == name) {
+          cfg.scheduler = p;
+          known = true;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown scheduler '%s'\n", name);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       const char* name = argv[++i];
       if (std::strcmp(name, "two-host") == 0) {

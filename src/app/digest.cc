@@ -100,6 +100,7 @@ DigestResult run_two_host_digest(const DigestConfig& cfg) {
   MptcpConfig mc;
   mc.opportunistic_retransmit = true;  // Mechanism 1
   mc.penalize_slow_subflows = true;    // Mechanism 2
+  mc.scheduler = cfg.scheduler;
   mc.tcp.seed = cfg.seed;
 
   MptcpStack client_stack(rig.client(), mc);
@@ -163,6 +164,7 @@ DigestResult run_capacity_digest(const DigestConfig& cfg) {
   churn.mean_size = 30 * 1000;
   churn.max_size = 300 * 1000;
   churn.persistent_per_client = 5;
+  churn.transport.mptcp.scheduler = cfg.scheduler;
   churn.transport.mptcp.meta_snd_buf_max = 64 * 1024;
   churn.transport.mptcp.meta_rcv_buf_max = 64 * 1024;
   churn.transport.mptcp.tcp.snd_buf_max = 32 * 1024;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/scheduler.h"
 #include "sim/event_loop.h"
 
 namespace mptcp {
@@ -30,6 +31,11 @@ struct DigestConfig {
   SimTime duration = 5 * kSecond;
   double loss = 0.02;  ///< Bernoulli loss on the weak 3G path (kTwoHost)
   DigestScenario scenario = DigestScenario::kTwoHost;
+  /// Packet scheduling policy for every MPTCP connection in the scenario.
+  /// The per-policy digests are the refactoring safety net: a send-path
+  /// change that claims to be behavior-preserving must reproduce the
+  /// recorded digest for each pre-existing policy bit for bit.
+  SchedulerPolicy scheduler = SchedulerPolicy::kLowestRtt;
 };
 
 struct DigestResult {

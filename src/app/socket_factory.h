@@ -29,9 +29,22 @@ struct TransportConfig {
   TransportKind kind = TransportKind::kMptcp;
   /// Full transport tuning. `mptcp.tcp` doubles as the TcpConfig for
   /// kTcp sockets, so one struct configures either transport (and the
-  /// MPTCP fields -- full_mesh, scheduler, buffers -- are the per-class
-  /// subflow policy knobs).
+  /// MPTCP fields -- full_mesh, scheduler, cc_algo, buffers -- are the
+  /// per-class subflow policy knobs).
   MptcpConfig mptcp;
+
+  /// Fluent selection of the send-path policies (core/scheduler.h and
+  /// core/coupled_cc.h), so experiment code reads as configuration:
+  ///   TransportConfig{}.with_scheduler(SchedulerPolicy::kBackupAware)
+  ///                    .with_cc(CcAlgo::kNewReno)
+  TransportConfig& with_scheduler(SchedulerPolicy policy) {
+    mptcp.scheduler = policy;
+    return *this;
+  }
+  TransportConfig& with_cc(CcAlgo algo) {
+    mptcp.cc_algo = algo;
+    return *this;
+  }
 };
 
 class SocketFactory {

@@ -37,6 +37,11 @@ namespace mptcp {
 /// One traffic class: arrival process, size distribution, transport.
 struct FlowClass {
   std::string name = "default";
+  /// Per-class transport selection, including the MPTCP send-path
+  /// policies: classes in one workload can run different schedulers and
+  /// congestion controllers side by side (e.g. `transport.with_scheduler(
+  /// SchedulerPolicy::kBackupAware)` for one class, default lowest-RTT
+  /// for another) -- each class gets its own factory per client host.
   TransportConfig transport;
 
   /// New-flow arrival rate per client host (Poisson; 0 = no churn).

@@ -4,6 +4,23 @@
 
 namespace mptcp {
 
+std::string_view to_string(CcAlgo a) {
+  switch (a) {
+    case CcAlgo::kLia: return "lia";
+    case CcAlgo::kNewReno: return "new-reno";
+  }
+  return "?";
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    CcAlgo algo, CoupledGroup& group, NewRenoCc::Options opts) {
+  switch (algo) {
+    case CcAlgo::kNewReno: return std::make_unique<NewRenoCc>(opts);
+    case CcAlgo::kLia: break;
+  }
+  return std::make_unique<LiaCc>(group, opts);
+}
+
 double CoupledGroup::alpha() const {
   double best_ratio = 0;   // max cwnd_i / rtt_i^2
   double sum_rate = 0;     // sum cwnd_i / rtt_i

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/mptcp_types.h"
 #include "tcp/cc.h"
 
 namespace mptcp {
@@ -56,5 +57,11 @@ class LiaCc final : public NewRenoCc {
   CoupledGroup& group_;
   SimTime last_srtt_ = 0;
 };
+
+/// Builds the configured controller for one subflow. LIA controllers
+/// register with `group` (the connection's shared coupling state);
+/// NewReno ignores it.
+std::unique_ptr<CongestionControl> make_congestion_control(
+    CcAlgo algo, CoupledGroup& group, NewRenoCc::Options opts);
 
 }  // namespace mptcp

@@ -32,6 +32,7 @@ MptcpConnection::MptcpConnection(MptcpStack& stack, Endpoint local,
   // Prime the subflow creation endpoint; connect() does the rest.
   pending_local_ = local;
   pending_remote_ = remote;
+  scheduler_ = Scheduler::make(config_.scheduler);
   register_stats();
 }
 
@@ -53,6 +54,7 @@ MptcpConnection::MptcpConnection(MptcpStack& stack, const TcpSegment& syn)
                            : config_.meta_rcv_buf_max;
   pending_local_ = syn.tuple.dst;
   pending_remote_ = syn.tuple.src;
+  scheduler_ = Scheduler::make(config_.scheduler);
   register_stats();
 }
 
@@ -103,6 +105,20 @@ void MptcpConnection::register_stats() {
     out.emit("subflows", static_cast<double>(subflows_.size()));
     out.emit("mode", static_cast<double>(mode_));
   });
+
+  // Per-policy scheduler counters live in their own child scope (removed
+  // with the parent by remove_scope). Opt-in: the determinism digests
+  // fold the whole registry, so the keys must not appear by default.
+  if (config_.sched_stats) {
+    const std::string scope = stats_scope_ + ".sched." +
+                              std::string(to_string(config_.scheduler));
+    reg.sampled_group(scope, [this](SampleSink& out) {
+      out.emit("picks", static_cast<double>(scheduler_->picks()));
+      out.emit("allocs", static_cast<double>(scheduler_->allocs()));
+      out.emit("state_entries",
+               static_cast<double>(scheduler_->state_entries()));
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -112,10 +128,7 @@ void MptcpConnection::register_stats() {
 std::unique_ptr<CongestionControl> MptcpConnection::make_cc() {
   NewRenoCc::Options opts;
   opts.cap_inflight = config_.cap_subflow_cwnd;
-  if (config_.coupled_cc) {
-    return std::make_unique<LiaCc>(cc_group_, opts);
-  }
-  return std::make_unique<NewRenoCc>(opts);
+  return make_congestion_control(config_.cc_algo, cc_group_, opts);
 }
 
 MptcpSubflow* MptcpConnection::create_subflow(SubflowKind kind,
@@ -215,11 +228,7 @@ MptcpSubflow* MptcpConnection::open_subflow(IpAddr local_addr,
                                             Endpoint remote) {
   if (mode_ != MptcpMode::kMptcp || no_new_subflows_) return nullptr;
   // Address ids index the local address list.
-  uint8_t addr_id = 0;
-  const auto addrs = stack_.host().addresses();
-  for (size_t i = 0; i < addrs.size(); ++i) {
-    if (addrs[i] == local_addr) addr_id = static_cast<uint8_t>(i);
-  }
+  const uint8_t addr_id = path_manager_.local_addr_id(local_addr);
   MptcpSubflow* sf = create_subflow(
       SubflowKind::kJoinActive, addr_id,
       Endpoint{local_addr, stack_.host().alloc_ephemeral_port()}, remote);
@@ -314,20 +323,7 @@ void MptcpConnection::sf_capable_confirmed(uint64_t key_a, uint64_t key_b) {
   (void)key_b;
   if (role_ != Role::kServer || mode_ != MptcpMode::kNegotiating) return;
   mode_ = MptcpMode::kMptcp;
-  // Advertise our additional addresses so a NATted client can open
-  // subflows toward them (section 3.2: the explicit path).
-  const auto addrs = stack_.host().addresses();
-  if (addrs.size() > 1 && !subflows_.empty()) {
-    for (size_t i = 0; i < addrs.size(); ++i) {
-      if (addrs[i] == subflows_[0]->local().addr) continue;
-      AddAddrOption add;
-      add.addr_id = static_cast<uint8_t>(i);
-      add.addr = addrs[i];
-      add.port = subflows_[0]->local().port;
-      subflows_[0]->queue_control_option(add);
-    }
-    subflows_[0]->flush_control_options();
-  }
+  path_manager_.on_peer_confirmed();
 }
 
 void MptcpConnection::sf_no_mptcp_in_handshake() {
@@ -385,15 +381,7 @@ void MptcpConnection::sf_established(MptcpSubflow* sf) {
     connected_notified_ = true;
     if (on_connected) on_connected();
   }
-  if (sf->is_initial() && role_ == Role::kClient &&
-      mode_ == MptcpMode::kMptcp && config_.full_mesh) {
-    // Open a subflow from every additional local address (section 3.2:
-    // the implicit, client-initiated path).
-    for (IpAddr addr : stack_.host().addresses()) {
-      if (addr == sf->local().addr) continue;
-      open_subflow(addr, sf->remote());
-    }
-  }
+  path_manager_.on_subflow_established(sf);
   // A server's join subflows only learn their usability from the third
   // ACK; in all cases newly usable capacity should be fed.
   schedule();
@@ -410,6 +398,16 @@ void MptcpConnection::sf_closed(MptcpSubflow* sf, bool reset) {
     if (end > begin) reinject_range(begin, end - begin);
     rec.subflow_id = SIZE_MAX;
   }
+  // Drop every per-subflow map entry keyed by the dead subflow's id (ids
+  // are never reused, so stale entries would accumulate forever on
+  // connections that churn subflows).
+  scheduler_->on_subflow_closed(sf->id());
+  next_penalty_at_.erase(sf->id());
+  last_acked_by_sf_.erase(sf->id());
+  last_delivered_by_sf_.erase(sf->id());
+  rx_bytes_by_sf_.erase(sf->id());
+  tx_rate_bps_.erase(sf->id());
+  rx_rate_bps_.erase(sf->id());
   bool any_open = false;
   for (const auto& s : subflows_) {
     if (s->state() != TcpState::kClosed) any_open = true;
@@ -578,51 +576,15 @@ void MptcpConnection::sf_checksum_failure(MptcpSubflow* sf,
 }
 
 void MptcpConnection::sf_add_addr(const AddAddrOption& opt) {
-  if (role_ != Role::kClient || !config_.full_mesh ||
-      mode_ != MptcpMode::kMptcp) {
-    return;
-  }
-  // Open a subflow from each local address to the advertised one.
-  for (const auto& sf : subflows_) {
-    if (sf->remote().addr == opt.addr) return;  // already connected there
-  }
-  const Port port =
-      opt.port ? *opt.port
-               : (subflows_.empty() ? Port{0} : subflows_[0]->remote().port);
-  for (IpAddr addr : stack_.host().addresses()) {
-    open_subflow(addr, Endpoint{opt.addr, port});
-  }
+  path_manager_.on_add_addr(opt);
 }
 
 void MptcpConnection::sf_remove_addr(uint8_t addr_id) {
-  // Close subflows whose peer address id matches (section 3.4).
-  for (auto& sf : subflows_) {
-    if (sf->state() == TcpState::kClosed) continue;
-    if (sf->peer_addr_id() == addr_id && !sf->is_initial()) sf->abort();
-  }
+  path_manager_.on_remove_addr(addr_id);
 }
 
 void MptcpConnection::sf_mp_prio(MptcpSubflow* sf, const MpPrioOption& opt) {
-  // The peer asks us to change our *sending* priority: for the subflow
-  // carrying the option, or for all subflows toward one of its addresses.
-  if (opt.addr_id) {
-    for (auto& s : subflows_) {
-      if (s->peer_addr_id() == *opt.addr_id) s->set_backup(opt.backup);
-    }
-  } else {
-    sf->set_backup(opt.backup);
-  }
-  schedule();
-}
-
-void MptcpConnection::set_subflow_backup(size_t i, bool backup) {
-  MptcpSubflow* sf = subflow(i);
-  if (sf == nullptr) return;
-  sf->set_backup(backup);
-  if (sf->can_send_ack()) {
-    sf->queue_control_option(MpPrioOption{backup, std::nullopt});
-    sf->flush_control_options();
-  }
+  path_manager_.on_mp_prio(sf, opt);
 }
 
 void MptcpConnection::sf_fastclose() {
@@ -630,31 +592,6 @@ void MptcpConnection::sf_fastclose() {
     if (sf->state() != TcpState::kClosed) sf->abort();
   }
   notify_closed_once();
-}
-
-void MptcpConnection::remove_local_address(IpAddr addr) {
-  // Tell the peer on a surviving subflow first, then drop local state.
-  uint8_t addr_id = 0;
-  const auto addrs = stack_.host().addresses();
-  for (size_t i = 0; i < addrs.size(); ++i) {
-    if (addrs[i] == addr) addr_id = static_cast<uint8_t>(i);
-  }
-  MptcpSubflow* survivor = nullptr;
-  for (auto& sf : subflows_) {
-    if (sf->state() != TcpState::kClosed && sf->local().addr != addr) {
-      survivor = sf.get();
-      break;
-    }
-  }
-  if (survivor != nullptr) {
-    survivor->queue_control_option(RemoveAddrOption{addr_id});
-    survivor->flush_control_options();
-  }
-  for (auto& sf : subflows_) {
-    if (sf->state() != TcpState::kClosed && sf->local().addr == addr) {
-      sf->abort();
-    }
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -686,40 +623,9 @@ size_t MptcpConnection::receiver_memory() const {
 }
 
 // ---------------------------------------------------------------------------
-// Scheduler (sender side).
+// Scheduler (sender side). Policies live in core/scheduler.cc; this
+// file keeps only the host hooks and the shared epilogue.
 // ---------------------------------------------------------------------------
-
-MptcpSubflow* MptcpConnection::pick_subflow(uint64_t min_space) {
-  if (config_.scheduler == SchedulerPolicy::kRoundRobin) {
-    // Rotate across usable subflows with window space, ignoring RTTs --
-    // the strawman policy, kept for ablation (bench/ablation_scheduler).
-    const size_t n = subflows_.size();
-    for (size_t probe = 0; probe < n; ++probe) {
-      MptcpSubflow* sf = subflows_[(rr_next_ + probe) % n].get();
-      if (sf->mptcp_usable() && !sf->backup() &&
-          sf->cwnd_space() >= min_space) {
-        rr_next_ = (rr_next_ + probe + 1) % n;
-        return sf;
-      }
-    }
-    // Fall through to the default policy for the backup-only case.
-  }
-
-  MptcpSubflow* best = nullptr;
-  MptcpSubflow* best_backup = nullptr;
-  bool regular_alive = false;
-  for (auto& sf : subflows_) {
-    if (!sf->mptcp_usable()) continue;
-    if (!sf->backup()) regular_alive = true;
-    if (sf->cwnd_space() < min_space) continue;
-    MptcpSubflow*& slot = sf->backup() ? best_backup : best;
-    if (slot == nullptr || sf->srtt() < slot->srtt()) slot = sf.get();
-  }
-  if (best != nullptr) return best;
-  // A backup subflow only carries data when no regular subflow is alive
-  // (not merely when the primary's window is momentarily full).
-  return regular_alive ? nullptr : best_backup;
-}
 
 uint64_t MptcpConnection::total_subflow_flight() const {
   uint64_t total = 0;
@@ -746,105 +652,7 @@ MptcpSubflow* MptcpConnection::best_usable_subflow() {
 void MptcpConnection::schedule() {
   if (mode_ != MptcpMode::kMptcp) return;
 
-  const uint64_t batch_bytes =
-      uint64_t{config_.batch_segments} * config_.tcp.mss;
-
-  if (config_.scheduler == SchedulerPolicy::kRedundant) {
-    // Every subflow independently carries the whole stream: each keeps
-    // its own cursor into the data sequence space and fills its window
-    // with (mostly duplicate) copies. Maximum robustness, zero
-    // aggregation.
-    for (auto& sf : subflows_) {
-      if (!sf->mptcp_usable()) continue;
-      uint64_t& ptr = redundant_ptr_[sf->id()];
-      ptr = std::max(ptr, snd_una_d_);
-      for (;;) {
-        const uint64_t limit =
-            std::min(meta_snd_.end_seq(), meta_right_edge_);
-        if (ptr >= limit) break;
-        const uint64_t n = std::min<uint64_t>(
-            {batch_bytes, limit - ptr, sf->cwnd_space()});
-        if (n == 0) break;
-        Payload bytes = meta_snd_.slice_out(ptr, static_cast<size_t>(n));
-        if (ptr + n > snd_nxt_d_) {
-          // First coverage of this range: record the allocation.
-          alloc_[snd_nxt_d_] = Alloc{ptr + n - snd_nxt_d_, sf->id()};
-          snd_nxt_d_ = ptr + n;
-        } else {
-          meta_stats_.reinjected_bytes += n;  // a duplicate copy
-        }
-        ++n_scheduler_picks_;
-        sf->note_scheduler_pick();
-        sf->push_mapped(ptr, std::move(bytes));
-        ptr += n;
-        sf->try_send();
-      }
-    }
-    if (data_fin_pending_ && !data_fin_allocated_ &&
-        snd_nxt_d_ == meta_snd_.end_seq()) {
-      data_fin_allocated_ = true;
-      data_fin_dsn_ = snd_nxt_d_;
-      if (MptcpSubflow* sf = best_usable_subflow()) {
-        sf->send_data_fin(data_fin_dsn_);
-      }
-    }
-    arm_meta_rto();
-    return;
-  }
-
-  for (;;) {
-    MptcpSubflow* sf = pick_subflow();
-    if (sf == nullptr) break;
-
-    // Re-injections (from dead subflows or the meta RTO) go first.
-    if (!reinject_.empty()) {
-      auto [dsn, len] = reinject_.front();
-      reinject_.pop_front();
-      const uint64_t begin = std::max(dsn, snd_una_d_);
-      const uint64_t end = dsn + len;
-      if (end <= begin) continue;
-      uint64_t n = std::min<uint64_t>({end - begin, sf->cwnd_space(),
-                                       batch_bytes});
-      if (n == 0) {
-        reinject_.push_front({begin, end - begin});
-        break;
-      }
-      Payload bytes = meta_snd_.slice_out(begin, static_cast<size_t>(n));
-      meta_stats_.reinjected_bytes += n;
-      ++n_scheduler_picks_;
-      sf->note_scheduler_pick();
-      sf->push_mapped(begin, std::move(bytes));
-      sf->try_send();
-      if (begin + n < end) reinject_.push_front({begin + n, end - begin - n});
-      continue;
-    }
-
-    const uint64_t avail = meta_snd_.end_seq() - snd_nxt_d_;
-    const uint64_t window_room =
-        meta_right_edge_ > snd_nxt_d_ ? meta_right_edge_ - snd_nxt_d_ : 0;
-
-    if (avail == 0 || window_room == 0) {
-      // `sf` has congestion window to spare but the connection cannot
-      // give it new data: either the shared receive window is full, or
-      // the (equally sized) send buffer is fully allocated with its
-      // trailing edge unacknowledged -- both are the "window stall" of
-      // section 4.2, held up by whichever subflow owns the oldest chunk.
-      if (snd_una_d_ < snd_nxt_d_) window_blocked(sf);
-      break;
-    }
-
-    const uint64_t n = std::min<uint64_t>(
-        {batch_bytes, avail, window_room, sf->cwnd_space()});
-    if (n == 0) break;
-
-    Payload bytes = meta_snd_.slice_out(snd_nxt_d_, static_cast<size_t>(n));
-    alloc_[snd_nxt_d_] = Alloc{n, sf->id()};
-    ++n_scheduler_picks_;
-    sf->note_scheduler_pick();
-    sf->push_mapped(snd_nxt_d_, std::move(bytes));
-    snd_nxt_d_ += n;
-    sf->try_send();
-  }
+  scheduler_->run(*this);
 
   // DATA_FIN once everything is allocated (section 3.4: it can be sent
   // immediately when the application closes, independent of subflow FINs).

@@ -26,6 +26,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,8 @@
 #include "core/keys.h"
 #include "core/meta_recv.h"
 #include "core/mptcp_types.h"
+#include "core/path_manager.h"
+#include "core/scheduler.h"
 #include "core/subflow.h"
 #include "tcp/tcp_buffers.h"
 #include "tcp/tcp_socket.h"
@@ -41,7 +44,7 @@ namespace mptcp {
 
 class MptcpStack;
 
-class MptcpConnection final : public StreamSocket {
+class MptcpConnection final : public StreamSocket, private SchedulerHost {
  public:
   enum class Role : uint8_t { kClient, kServer };
 
@@ -132,12 +135,15 @@ class MptcpConnection final : public StreamSocket {
   /// (used by workloads that churn many connections).
   void set_auto_destroy(bool v) { auto_destroy_ = v; }
 
-  // --- path management --------------------------------------------------------
+  // --- path management (core/path_manager.h owns the policy) ------------------
   /// Opens an additional subflow from `local_addr` to `remote`.
   MptcpSubflow* open_subflow(IpAddr local_addr, Endpoint remote);
   /// Signals loss of a local address: aborts its subflows and sends
   /// REMOVE_ADDR on a surviving one (mobility, section 3.4).
-  void remove_local_address(IpAddr addr);
+  void remove_local_address(IpAddr addr) {
+    path_manager_.remove_local_address(addr);
+  }
+  PathManager& path_manager() { return path_manager_; }
 
   // --- called by subflows (not application API) -------------------------------
   void sf_capable_synack(uint64_t peer_key, bool csum_required);
@@ -162,7 +168,9 @@ class MptcpConnection final : public StreamSocket {
 
   /// Asks the peer to treat subflow `i` as backup (sends MP_PRIO) and
   /// mirrors the priority for our own scheduling.
-  void set_subflow_backup(size_t i, bool backup);
+  void set_subflow_backup(size_t i, bool backup) {
+    path_manager_.set_subflow_backup(i, backup);
+  }
 
   uint64_t meta_data_ack_value() const;
   uint64_t meta_receive_window() const;
@@ -170,12 +178,51 @@ class MptcpConnection final : public StreamSocket {
   uint64_t idsn_local() const { return idsn_local_; }
   uint64_t idsn_remote() const { return idsn_remote_; }
 
-  /// Runs the packet scheduler: allocates buffered data to subflows
-  /// (lowest-RTT-first in contiguous batches) and applies M1/M2 when the
-  /// meta window blocks progress.
+  /// Runs the packet scheduler: one pass of the configured policy over
+  /// the buffered data (see core/scheduler.h), then the DATA_FIN rule
+  /// and the meta RTO. M1/M2 fire from the policy's window-stall hook.
   void schedule();
 
+  /// The connection's scheduling policy instance (owns rotation/cursor
+  /// state; exposes pick/alloc counters and state_entries()).
+  Scheduler& scheduler() { return *scheduler_; }
+  /// This connection viewed through the scheduler's host interface (for
+  /// tests and benches that drive a policy against live send state).
+  SchedulerHost& scheduler_host() { return *this; }
+
  private:
+  // --- SchedulerHost (the scheduler's window into this connection) -----------
+  std::span<const std::unique_ptr<MptcpSubflow>> sched_subflows() override {
+    return subflows_;
+  }
+  uint64_t sched_batch_bytes() const override {
+    return uint64_t{config_.batch_segments} * config_.tcp.mss;
+  }
+  uint64_t sched_snd_una() const override { return snd_una_d_; }
+  uint64_t sched_snd_nxt() const override { return snd_nxt_d_; }
+  uint64_t sched_stream_end() const override { return meta_snd_.end_seq(); }
+  uint64_t sched_window_edge() const override { return meta_right_edge_; }
+  std::deque<std::pair<uint64_t, uint64_t>>& sched_reinject() override {
+    return reinject_;
+  }
+  Payload sched_slice(uint64_t dsn, size_t len) override {
+    return meta_snd_.slice_out(dsn, len);
+  }
+  void sched_record_alloc(uint64_t dsn, uint64_t len,
+                          size_t sf_id) override {
+    alloc_[dsn] = Alloc{len, sf_id};
+    snd_nxt_d_ = dsn + len;
+  }
+  void sched_count_reinjected(uint64_t bytes) override {
+    meta_stats_.reinjected_bytes += bytes;
+  }
+  void sched_note_pick(MptcpSubflow& sf) override {
+    ++n_scheduler_picks_;
+    sf.note_scheduler_pick();
+  }
+  void sched_window_blocked(MptcpSubflow& fast) override {
+    window_blocked(&fast);
+  }
   void register_stats();
   void init_client_keys();
   void fallback_to_tcp(const char* reason);
@@ -185,7 +232,6 @@ class MptcpConnection final : public StreamSocket {
   void maybe_finish_teardown();
   void maybe_send_meta_window_update();
   void window_blocked(MptcpSubflow* fast);
-  MptcpSubflow* pick_subflow(uint64_t min_space = 1);
   uint64_t total_subflow_flight() const;
   MptcpSubflow* best_usable_subflow();
   void reinject_range(uint64_t dsn, uint64_t len);
@@ -212,6 +258,7 @@ class MptcpConnection final : public StreamSocket {
   // The group must outlive the subflows: each subflow's LiaCc deregisters
   // from it on destruction (members destruct in reverse declaration order).
   CoupledGroup cc_group_;
+  PathManager path_manager_{*this};
   std::vector<std::unique_ptr<MptcpSubflow>> subflows_;
   size_t next_subflow_id_ = 0;
   Endpoint pending_local_;   ///< endpoints for the initial subflow
@@ -233,8 +280,7 @@ class MptcpConnection final : public StreamSocket {
   std::map<uint64_t, Alloc> alloc_;  ///< dsn -> allocation record
   std::deque<std::pair<uint64_t, uint64_t>> reinject_;  ///< (dsn, len)
   uint64_t reinjected_until_ = 0;  ///< M1 high-water mark (monotonic)
-  size_t rr_next_ = 0;             ///< round-robin scheduler cursor
-  std::map<size_t, uint64_t> redundant_ptr_;  ///< per-subflow stream cursor
+  std::unique_ptr<Scheduler> scheduler_;  ///< policy + its private state
   std::map<size_t, SimTime> next_penalty_at_;  ///< per-subflow M2 limiter
   Timer meta_rto_timer_;
   int meta_rto_backoff_ = 1;

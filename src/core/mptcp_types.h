@@ -2,11 +2,20 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "core/scheduler.h"
 #include "tcp/tcp_types.h"
 
 namespace mptcp {
+
+/// Congestion controller family for the subflows of one connection.
+enum class CcAlgo : uint8_t {
+  kLia,      ///< coupled Linked Increases across subflows (NSDI'11)
+  kNewReno,  ///< uncoupled per-subflow NewReno (the fairness strawman)
+};
+
+std::string_view to_string(CcAlgo a);
 
 /// How the connection-level out-of-order queue locates insertion points
 /// (section 4.3 of the paper, evaluated in Fig. 8).
@@ -53,9 +62,15 @@ struct MptcpConfig {
   /// for ablation studies.
   SchedulerPolicy scheduler = SchedulerPolicy::kLowestRtt;
 
-  /// Use the coupled Linked-Increases controller across subflows
-  /// (Wischik et al., NSDI'11); plain per-subflow NewReno otherwise.
-  bool coupled_cc = true;
+  /// Congestion controller for the subflows (see core/coupled_cc.h):
+  /// the coupled Linked-Increases controller (Wischik et al., NSDI'11)
+  /// by default, plain per-subflow NewReno for ablation.
+  CcAlgo cc_algo = CcAlgo::kLia;
+
+  /// Export per-policy scheduler counters under "<conn>.sched.<policy>".
+  /// Off by default: the determinism digests fold the full stats export,
+  /// so new registry keys must be opted into per run.
+  bool sched_stats = false;
 
   /// Scheduler allocation batch, in segments: contiguous data-sequence
   /// runs handed to one subflow at a time (enables receive shortcuts).

@@ -342,6 +342,48 @@ TEST(Workload, RegistryReturnsToBaselineAfterThousandConnectionChurn) {
                       after.end(), std::inserter(lost, lost.end()));
   EXPECT_TRUE(leaked.empty()) << "leaked keys, e.g. " << *leaked.begin();
   EXPECT_TRUE(lost.empty()) << "lost keys, e.g. " << *lost.begin();
+
+  // Per-subflow scheduler state obeys the same hygiene contract at the
+  // subflow level: a redundant-policy connection keeps one stream cursor
+  // per subflow (core/scheduler.h state_entries()), and subflow churn on
+  // a long-lived connection must return the cursor count to its
+  // pre-churn baseline -- subflow ids are never reused, so a missed
+  // erase would grow that map for the life of the connection.
+  {
+    TransportConfig rc = tc;
+    rc.with_scheduler(SchedulerPolicy::kRedundant);
+    SocketFactory cf(topo.host(cap.clients[0]), rc);
+    SocketFactory sf(topo.host(cap.servers[0]), rc);
+    HttpServer server(sf, 81);
+    StreamSocket& s = cf.connect(topo.addr(cap.clients[0]),
+                                 {topo.addr(cap.servers[0]), 81});
+    // An effectively endless response keeps the scheduler running for
+    // the whole phase.
+    s.on_connected = [&s] { s.write(make_http_request(1'000'000'000)); };
+    s.on_readable = [&s] {
+      uint8_t buf[4096];
+      while (s.read(buf) > 0) {
+      }
+    };
+    topo.loop().run_until(topo.loop().now() + 2 * kSecond);
+    MptcpConnection* conn = cf.as_mptcp(s);
+    ASSERT_NE(conn, nullptr);
+    ASSERT_EQ(conn->mode(), MptcpMode::kMptcp);
+    ASSERT_EQ(conn->subflow_count(), 2u);  // dual-homed full mesh
+    const size_t cursors_before = conn->scheduler().state_entries();
+    EXPECT_EQ(cursors_before, 2u) << "one cursor per usable subflow";
+
+    // Subflow churn: a third subflow joins, carries duplicates, dies.
+    MptcpSubflow* extra = conn->open_subflow(
+        topo.addr(cap.clients[0], 1), {topo.addr(cap.servers[0]), 81});
+    ASSERT_NE(extra, nullptr);
+    topo.loop().run_until(topo.loop().now() + 2 * kSecond);
+    EXPECT_EQ(conn->scheduler().state_entries(), cursors_before + 1);
+    extra->abort();
+    topo.loop().run_until(topo.loop().now() + kSecond);
+    EXPECT_EQ(conn->scheduler().state_entries(), cursors_before)
+        << "per-subflow scheduler state leaked across subflow teardown";
+  }
 }
 
 }  // namespace
