@@ -20,12 +20,25 @@
 // informational). The whole run is deterministic: CI also digests the
 // same topology twice via `sim_digest --scenario capacity`.
 //
-// Usage: bench_capacity [--smoke] [OUTPUT.json]
+// --shards N adds the sharded engine runs (see run_sharded_scale below):
+// the same cell-ring topology executed single-shard and with N worker
+// shards, self-checking that the merged simulated metrics are identical
+// and that the sharded run sustains >= 50,000 concurrent connections,
+// plus a smaller cross-cell phase that pushes traffic through the SPSC
+// handoff channels. `--smoke --shards N` runs only the reduced-scale
+// sharded phase (the ThreadSanitizer CI job's workload).
+//
+// Usage: bench_capacity [--smoke] [--shards N] [OUTPUT.json]
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 
 #include "app/workload.h"
 #include "bench_util.h"
+#include "sim/shard.h"
 
 using namespace mptcp;
 using namespace mptcp::bench;
@@ -138,14 +151,281 @@ void append_fields(std::vector<std::pair<std::string, double>>& fields,
   fields.emplace_back(prefix + "fct_p99_us", r.fct_p99_us);
 }
 
+// ---------------------------------------------------------------------------
+// Sharded runs.
+
+struct ShardedRunResult {
+  double concurrent_end = 0;  ///< connections open when the run stopped
+  double peak_concurrent = 0;
+  double completed = 0;
+  double errors = 0;
+  double goodput_mbps = 0;
+  double handoff_packets = 0;
+  double handoff_spills = 0;
+  double wall_seconds = 0;
+  std::map<std::string, double> merged;  ///< merged per-shard stats export
+};
+
+/// Shard-count-invariant view of a merged export, for the 1-shard vs
+/// N-shard equality self-check. Execution-dependent keys (thread-local
+/// allocator pools, per-loop scheduler bookkeeping under sim.* minus
+/// links/routers) are dropped; per-connection live scopes
+/// (mptcp.client#N / mptcp.server#N, whose #N instance suffix is
+/// allocated per registry and so depends on the shard split) are
+/// compared as sorted value multisets with the suffix stripped; every
+/// other key (link/router counters, workload metrics, FCT histograms,
+/// summed tcp.* counters) must match exactly.
+struct Canonical {
+  std::map<std::string, double> exact;
+  std::map<std::string, std::vector<double>> per_conn;
+};
+
+Canonical canonicalize(const std::map<std::string, double>& merged) {
+  Canonical c;
+  for (const auto& [raw_key, value] : merged) {
+    if (raw_key.rfind("payload.pool.", 0) == 0) continue;
+    if (raw_key.rfind("sim.", 0) == 0 &&
+        raw_key.rfind("sim.link.", 0) != 0 &&
+        raw_key.rfind("sim.router.", 0) != 0) {
+      continue;
+    }
+    // Strip the per-shard scope tag ("@s<k>", possibly fused with a
+    // "#<n>" instance counter): merged exports shard-qualify scope
+    // names, but the quantities are shard-count-invariant.
+    std::string key = raw_key;
+    const size_t at = key.find('@');
+    if (at != std::string::npos) {
+      const size_t dot = key.find('.', at);
+      key.erase(at, (dot == std::string::npos ? key.size() : dot) - at);
+    }
+    if (key.rfind("mptcp.client", 0) == 0 ||
+        key.rfind("mptcp.server", 0) == 0) {
+      // Per-connection scopes: also drop the "#<n>" instance counter
+      // (allocated per registry, so it depends on the shard split) and
+      // compare as value multisets.
+      const size_t hash = key.find('#');
+      if (hash != std::string::npos) {
+        const size_t dot = key.find('.', hash);
+        key.erase(hash, (dot == std::string::npos ? key.size() : dot) - hash);
+      }
+      c.per_conn[key].push_back(value);
+      continue;
+    }
+    c.exact[key] = value;
+  }
+  for (auto& [key, values] : c.per_conn) {
+    std::sort(values.begin(), values.end());
+  }
+  return c;
+}
+
+ShardedRunResult run_sharded(const ShardedCapacitySpec& spec,
+                             const FlowClass& local, const FlowClass& cross,
+                             size_t shards, uint64_t seed, SimTime duration) {
+  WallTimer wall;
+  ShardedCapacity net = build_sharded_capacity(spec, seed, shards);
+  Topology& topo = *net.topo;
+
+  ShardedCapacityWorkload workload(net, local, cross, seed);
+  workload.start();
+  ShardedEngine engine(topo);
+  engine.run_until(duration);
+
+  ShardedRunResult out;
+  out.wall_seconds = wall.seconds();
+  out.concurrent_end = static_cast<double>(workload.concurrent());
+  out.peak_concurrent = static_cast<double>(workload.peak_concurrent_sum());
+  out.completed = static_cast<double>(workload.total_completed());
+  out.errors = static_cast<double>(workload.total_errors());
+  out.goodput_mbps = static_cast<double>(workload.bytes_received()) * 8.0 /
+                     to_seconds(duration) / 1e6;
+  out.handoff_packets = static_cast<double>(engine.handoff_packets());
+  out.handoff_spills = static_cast<double>(engine.handoff_spills());
+  out.merged = StatsRegistry::merged_flatten(topo.shard_stats());
+  return out;
+}
+
+/// Compares two runs' canonicalized merged exports. Returns the number
+/// of mismatched keys (0 = the sharded run reproduced the single-shard
+/// simulation bit for bit).
+size_t compare_merged(const std::map<std::string, double>& ref_raw,
+                      const std::map<std::string, double>& got_raw) {
+  const Canonical ref = canonicalize(ref_raw);
+  const Canonical got = canonicalize(got_raw);
+  size_t bad = 0;
+  auto report = [&bad](const std::string& key, const char* what) {
+    if (++bad <= 8) std::fprintf(stderr, "MISMATCH: %s %s\n",
+                                 key.c_str(), what);
+  };
+  for (const auto& [key, value] : ref.exact) {
+    const auto it = got.exact.find(key);
+    if (it == got.exact.end()) {
+      report(key, "missing");
+    } else if (it->second != value) {
+      report(key, "differs");
+    }
+  }
+  for (const auto& [key, value] : got.exact) {
+    if (ref.exact.find(key) == ref.exact.end()) report(key, "extra");
+  }
+  for (const auto& [key, values] : ref.per_conn) {
+    const auto it = got.per_conn.find(key);
+    if (it == got.per_conn.end()) {
+      report(key, "missing (per-conn)");
+    } else if (it->second != values) {
+      report(key, "differs (per-conn multiset)");
+    }
+  }
+  for (const auto& [key, values] : got.per_conn) {
+    if (ref.per_conn.find(key) == ref.per_conn.end()) {
+      report(key, "extra (per-conn)");
+    }
+  }
+  return bad;
+}
+
+FlowClass sharded_local_class(size_t persistent, double churn_hz,
+                              uint64_t seed) {
+  FlowClass local;
+  local.name = "bulk";
+  local.persistent_per_client = persistent;
+  local.arrival_rate_hz = churn_hz;
+  local.size_dist = FlowClass::SizeDist::kExponential;
+  local.mean_size = 20 * 1000;
+  local.min_size = 1000;
+  local.max_size = 1000 * 1000;
+  local.transport = capacity_transport(16 * 1024, 8 * 1024, seed);
+  return local;
+}
+
+FlowClass disabled_class() {
+  FlowClass off;
+  off.name = "off";
+  off.arrival_rate_hz = 0;
+  off.persistent_per_client = 0;
+  return off;
+}
+
+/// The >= 50k-connection sharded scale run: 4 cells x 25 clients x 500
+/// persistent connections = 50,000 sustained, plus light churn for FCT
+/// signal. Traffic stays inside each cell (the ring is wired but idle),
+/// which is what makes the single-shard reference and the N-shard run
+/// provably identical in simulated metrics -- the self-check below
+/// compares every non-execution-dependent merged stat exactly.
+bool run_sharded_full(size_t shards, uint64_t seed,
+                      std::vector<std::pair<std::string, double>>& fields) {
+  ShardedCapacitySpec spec;
+  spec.cells = 4;
+  spec.cell.clients = 25;
+  spec.cell.servers = 2;
+  spec.cell.bottleneck_rate_bps = 2e9;
+  const SimTime duration = 2 * kSecond;
+  const FlowClass local = sharded_local_class(500, 2.0, seed);
+  const FlowClass off = disabled_class();
+
+  std::printf("# sharded: %zu cells x %zu clients x %zu persistent, "
+              "1-shard reference vs %zu shards\n",
+              spec.cells, spec.cell.clients, local.persistent_per_client,
+              shards);
+  const ShardedRunResult ref =
+      run_sharded(spec, local, off, 1, seed, duration);
+  const ShardedRunResult run =
+      run_sharded(spec, local, off, shards, seed, duration);
+
+  bool ok = true;
+  const size_t mismatches = compare_merged(ref.merged, run.merged);
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu merged-stat mismatches between 1-shard and "
+                 "%zu-shard runs\n",
+                 mismatches, shards);
+    ok = false;
+  }
+  if (run.concurrent_end < 50000) {
+    std::fprintf(stderr, "FAIL: sharded concurrent_end %.0f < 50000\n",
+                 run.concurrent_end);
+    ok = false;
+  }
+
+  const double speedup =
+      run.wall_seconds > 0 ? ref.wall_seconds / run.wall_seconds : 0;
+  std::printf("%-32s %12.0f\n", "sharded_concurrent_end", run.concurrent_end);
+  std::printf("%-32s %12.0f\n", "sharded_peak_concurrent",
+              run.peak_concurrent);
+  std::printf("%-32s %12.0f\n", "sharded_completed", run.completed);
+  std::printf("%-32s %12.0f\n", "sharded_errors", run.errors);
+  std::printf("%-32s %12.1f\n", "sharded_goodput_mbps", run.goodput_mbps);
+  std::printf("%-32s %12.2f\n", "sharded_wall_seconds_1shard",
+              ref.wall_seconds);
+  std::printf("%-32s %12.2f\n", "sharded_wall_seconds_nshard",
+              run.wall_seconds);
+  std::printf("%-32s %12.2f\n", "sharded_speedup", speedup);
+  std::printf("%-32s %12s\n\n", "metrics_vs_1shard",
+              mismatches == 0 ? "identical" : "DIVERGED");
+
+  fields.emplace_back("sharded_shards", static_cast<double>(shards));
+  fields.emplace_back("sharded_concurrent_end", run.concurrent_end);
+  fields.emplace_back("sharded_peak_concurrent", run.peak_concurrent);
+  fields.emplace_back("sharded_completed", run.completed);
+  fields.emplace_back("sharded_goodput_mbps", run.goodput_mbps);
+  fields.emplace_back("sharded_wall_seconds_1shard", ref.wall_seconds);
+  fields.emplace_back("sharded_wall_seconds_nshard", run.wall_seconds);
+  return ok;
+}
+
+/// Reduced-scale sharded run with cross-cell traffic enabled: every byte
+/// of the cross class rides the SPSC handoff channels through the ring.
+/// This is the phase the ThreadSanitizer CI job runs (--smoke --shards N)
+/// and the source of the handoff counters in the JSON.
+bool run_sharded_cross(size_t shards, uint64_t seed, const char* prefix,
+                       std::vector<std::pair<std::string, double>>& fields) {
+  ShardedCapacitySpec spec;
+  spec.cells = 4;
+  spec.cell.clients = 4;
+  spec.cell.servers = 1;
+  spec.cell.bottleneck_rate_bps = 200e6;
+  const SimTime duration = 1500 * kMillisecond;
+  const FlowClass local = sharded_local_class(10, 5.0, seed);
+  FlowClass cross = sharded_local_class(5, 5.0, seed ^ 0x2545f4914f6cdd1dULL);
+  cross.name = "cross";
+
+  std::printf("# %scross-cell handoff: %zu cells over %zu shards\n", prefix,
+              spec.cells, shards);
+  const ShardedRunResult run =
+      run_sharded(spec, local, cross, shards, seed, duration);
+
+  std::printf("%-32s %12.0f\n", "concurrent_end", run.concurrent_end);
+  std::printf("%-32s %12.0f\n", "completed", run.completed);
+  std::printf("%-32s %12.0f\n", "handoff_packets", run.handoff_packets);
+  std::printf("%-32s %12.0f\n\n", "handoff_spills", run.handoff_spills);
+
+  const std::string p = prefix;
+  fields.emplace_back(p + "cross_concurrent_end", run.concurrent_end);
+  fields.emplace_back(p + "cross_completed", run.completed);
+  fields.emplace_back(p + "cross_handoff_packets", run.handoff_packets);
+
+  if (shards > 1 && run.handoff_packets <= 0) {
+    std::fprintf(stderr, "FAIL: no packets crossed shards\n");
+    return false;
+  }
+  if (run.completed <= 0) {
+    std::fprintf(stderr, "FAIL: no cross-cell flows completed\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke_only = false;
+  size_t shards = 0;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke_only = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
     } else {
       out_path = argv[i];
     }
@@ -153,11 +433,23 @@ int main(int argc, char** argv) {
 
   WallTimer wall;
   std::vector<std::pair<std::string, double>> fields;
+  bool ok = true;
+
+  if (smoke_only && shards > 0) {
+    // The ThreadSanitizer CI workload: only the reduced-scale sharded
+    // phase, with cross-cell traffic keeping the handoff channels hot.
+    if (!run_sharded_cross(shards, /*seed=*/1, "smoke_", fields)) ok = false;
+    fields.emplace_back("wall_seconds_total", wall.seconds());
+    if (!out_path.empty() && !write_json(out_path, fields)) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    return ok ? 0 : 1;
+  }
 
   const ScaleResult smoke = run_scale(kSmoke, /*seed=*/1);
   append_fields(fields, "smoke_", smoke);
 
-  bool ok = true;
   if (!smoke_only) {
     const ScaleResult full = run_scale(kFull, /*seed=*/1);
     append_fields(fields, "capacity_", full);
@@ -168,6 +460,12 @@ int main(int argc, char** argv) {
                    "FAIL: peak_concurrent %.0f < 5000 at full scale\n",
                    full.peak_concurrent);
       ok = false;
+    }
+    if (shards > 0) {
+      if (!run_sharded_full(shards, /*seed=*/1, fields)) ok = false;
+      if (!run_sharded_cross(shards, /*seed=*/1, "sharded_", fields)) {
+        ok = false;
+      }
     }
   }
   fields.emplace_back("wall_seconds_total", wall.seconds());

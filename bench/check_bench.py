@@ -2,13 +2,20 @@
 """Compare a fresh benchmark JSON against a tracked baseline.
 
 Both files are flat {"metric": number} objects (the shape bench_hotpath
-and bench_capacity write). Every metric is treated as higher-is-better; a
-metric that fell below baseline * (1 - tolerance) is a regression and
-fails the check. Metrics measuring cost rather than rate
-(wall_seconds_total, latency metrics ending in _us) are reported but not
-gated, as are metrics present in only one file.
+and bench_capacity write). Gating is direction-aware:
+
+  * default metrics (rates, counts, concurrency) are higher-is-better --
+    falling below baseline * (1 - tolerance) fails the check;
+  * wall-clock metrics (wall_seconds_total and any key containing
+    "_seconds") are lower-is-better -- rising above
+    baseline * (1 + seconds-tolerance) fails the check. Wall time is
+    noisy across CI hosts, so its tolerance is wider by default;
+  * latency metrics ending in _us are reported but never gated
+    (completion times shift with workload tuning; goodput/concurrency
+    are the gated signals), as are metrics present in only one file.
 
 Usage: check_bench.py BASELINE NEW [--tolerance 0.30]
+                      [--seconds-tolerance 0.75]
 Exit status: 0 ok, 1 regression, 2 usage/IO error.
 """
 
@@ -16,15 +23,17 @@ import argparse
 import json
 import sys
 
-SKIP = {"wall_seconds_total"}
-# Lower-is-better latency metrics: tracked for visibility, never gated
-# (completion times shift with workload tuning; goodput/concurrency are
-# the gated signals).
+# Lower-is-better latency metrics: tracked for visibility, never gated.
 SKIP_SUFFIXES = ("_us",)
 
 
+def is_seconds(key: str) -> bool:
+    """Wall-clock cost metrics: gated in the lower-is-better direction."""
+    return "_seconds" in key
+
+
 def gated(key: str) -> bool:
-    return key not in SKIP and not key.endswith(SKIP_SUFFIXES)
+    return not key.endswith(SKIP_SUFFIXES)
 
 
 def main() -> int:
@@ -32,8 +41,12 @@ def main() -> int:
     ap.add_argument("baseline")
     ap.add_argument("new")
     ap.add_argument("--tolerance", type=float, default=0.30,
-                    help="allowed fractional drop below baseline "
-                         "(default 0.30 = 30%%)")
+                    help="allowed fractional drop below baseline for "
+                         "higher-is-better metrics (default 0.30 = 30%%)")
+    ap.add_argument("--seconds-tolerance", type=float, default=0.75,
+                    help="allowed fractional rise above baseline for "
+                         "*_seconds* metrics (default 0.75 = 75%%; wall "
+                         "time is noisy across hosts)")
     args = ap.parse_args()
 
     try:
@@ -57,14 +70,21 @@ def main() -> int:
 
     failed = False
     for k in shared:
-        floor = base[k] * (1.0 - args.tolerance)
         ratio = new[k] / base[k] if base[k] else float("inf")
-        status = "ok" if new[k] >= floor else "REGRESSION"
+        if is_seconds(k):
+            ceiling = base[k] * (1.0 + args.seconds_tolerance)
+            status = "ok" if new[k] <= ceiling else "REGRESSION"
+            direction = "lower-better"
+        else:
+            floor = base[k] * (1.0 - args.tolerance)
+            status = "ok" if new[k] >= floor else "REGRESSION"
+            direction = "higher-better"
         failed |= status != "ok"
         print(f"{status:>10}  {k:<28} base={base[k]:<12.6g} "
-              f"new={new[k]:<12.6g} ({ratio:.2%} of baseline)")
+              f"new={new[k]:<12.6g} ({ratio:.2%} of baseline, "
+              f"{direction})")
 
-    only = sorted((set(base) | set(new)) - set(shared) - SKIP)
+    only = sorted((set(base) | set(new)) - set(shared))
     for k in only:
         if k in base and k in new:
             note = "tracked, not gated"

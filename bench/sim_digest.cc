@@ -2,9 +2,15 @@
 // src/app/digest.h). CI runs this twice and diffs the output; a mismatch
 // means the simulation is no longer a pure function of its seed.
 //
-// Usage: sim_digest [--scenario two-host|capacity] [--seed N]
-//                   [--duration-ms M] [--stats FILE]
+// Usage: sim_digest [--scenario two-host|capacity|pingpong] [--seed N]
+//                   [--duration-ms M] [--stats FILE] [--shards N]
 //                   [--scheduler lowest-rtt|round-robin|redundant|backup-aware]
+//
+// --shards N (N >= 1) switches capacity to the sharded cell-ring variant
+// driven by the multi-threaded ShardedEngine: bit-stable for a fixed N
+// (CI runs each N twice and diffs), not comparable across N. The
+// pingpong scenario's digest IS comparable across shard counts: CI diffs
+// --shards 1 against --shards 2 to pin epoch-barrier lockstep.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,14 +52,19 @@ int main(int argc, char** argv) {
         cfg.scenario = mptcp::DigestScenario::kTwoHost;
       } else if (std::strcmp(name, "capacity") == 0) {
         cfg.scenario = mptcp::DigestScenario::kCapacity;
+      } else if (std::strcmp(name, "pingpong") == 0) {
+        cfg.scenario = mptcp::DigestScenario::kPingPong;
       } else {
         std::fprintf(stderr, "unknown scenario '%s'\n", name);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      cfg.shards = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scenario two-host|capacity] [--seed N] "
-                   "[--duration-ms M] [--stats FILE]\n",
+                   "usage: %s [--scenario two-host|capacity|pingpong] "
+                   "[--seed N] [--duration-ms M] [--stats FILE] "
+                   "[--shards N]\n",
                    argv[0]);
       return 2;
     }

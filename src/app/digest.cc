@@ -6,9 +6,11 @@
 
 #include "app/bulk_app.h"
 #include "app/harness.h"
+#include "app/http_app.h"
 #include "app/workload.h"
 #include "core/mptcp_stack.h"
 #include "sim/node.h"
+#include "sim/shard.h"
 
 namespace mptcp {
 
@@ -184,12 +186,169 @@ DigestResult run_capacity_digest(const DigestConfig& cfg) {
   return out;
 }
 
+/// Sharded capacity digest: a ring of capacity cells pinned round-robin
+/// onto `cfg.shards` shards, with a local churn class per cell plus a
+/// cross-cell class whose every byte traverses the ring -- i.e. the
+/// SPSC/epoch-barrier handoff path when shards > 1. Each tap owns its
+/// hash (taps on different shards run on different threads); the final
+/// digest folds the per-tap hashes in tap creation order, then the
+/// deterministic merged stats export. Bit-stable for a fixed shard
+/// count; *not* comparable across shard counts (cross-cell arrivals tie-
+/// break differently against same-timestamp local events).
+DigestResult run_sharded_capacity_digest(const DigestConfig& cfg) {
+  DigestResult out;
+
+  ShardedCapacitySpec spec;
+  spec.cells = 4;
+  spec.cell.clients = 2;
+  spec.cell.servers = 1;
+  spec.cell.bottleneck_rate_bps = 100e6;
+  ShardedCapacity net = build_sharded_capacity(spec, cfg.seed, cfg.shards);
+  Topology& topo = *net.topo;
+
+  // One hash per tap, preallocated so addresses stay stable while taps
+  // hold references. Order: per cell bottleneck-a {ab, ba} then
+  // bottleneck-b {ab, ba}, then each ring link {ab, ba}.
+  const size_t tap_count = spec.cells * 4 + net.ring_links.size() * 2;
+  std::vector<uint64_t> hashes(tap_count, kFnvOffset);
+  std::vector<uint64_t> packets(tap_count, 0);
+  std::vector<std::unique_ptr<HashingTap>> taps;
+  size_t ti = 0;
+  const auto tap_link = [&](size_t l, bool ab) {
+    // The tap runs on the delivery side of the link: the shard of the
+    // node the direction points at.
+    const NodeId dst = ab ? topo.link_node_b(l) : topo.link_node_a(l);
+    auto tap = std::make_unique<HashingTap>(topo.loop(topo.shard_of(dst)),
+                                            hashes[ti], packets[ti]);
+    ++ti;
+    if (ab) {
+      topo.splice_ab(l, *tap);
+    } else {
+      topo.splice_ba(l, *tap);
+    }
+    taps.push_back(std::move(tap));
+  };
+  for (const ShardedCapacity::Cell& cell : net.cells) {
+    for (size_t l : {cell.bottleneck_a, cell.bottleneck_b}) {
+      tap_link(l, true);
+      tap_link(l, false);
+    }
+  }
+  for (size_t l : net.ring_links) {
+    tap_link(l, true);
+    tap_link(l, false);
+  }
+
+  FlowClass local;
+  local.name = "local";
+  local.arrival_rate_hz = 10.0;
+  local.size_dist = FlowClass::SizeDist::kExponential;
+  local.mean_size = 30 * 1000;
+  local.max_size = 300 * 1000;
+  local.persistent_per_client = 2;
+  local.transport.mptcp.scheduler = cfg.scheduler;
+  local.transport.mptcp.meta_snd_buf_max = 64 * 1024;
+  local.transport.mptcp.meta_rcv_buf_max = 64 * 1024;
+  local.transport.mptcp.tcp.snd_buf_max = 32 * 1024;
+  local.transport.mptcp.tcp.rcv_buf_max = 32 * 1024;
+  local.transport.mptcp.tcp.seed = cfg.seed;
+
+  FlowClass cross = local;
+  cross.name = "cross";
+  cross.arrival_rate_hz = 5.0;
+  cross.persistent_per_client = 1;
+
+  ShardedCapacityWorkload workload(net, local, cross, cfg.seed);
+  workload.start();
+  ShardedEngine engine(topo);
+  engine.run_until(cfg.duration);
+
+  uint64_t hash = kFnvOffset;
+  for (size_t i = 0; i < tap_count; ++i) {
+    fnv_u64(hash, hashes[i]);
+    fnv_u64(hash, packets[i]);
+    out.packets_hashed += packets[i];
+  }
+  const auto merged = StatsRegistry::merged_flatten(topo.shard_stats());
+  for (const auto& [name, value] : merged) {
+    for (char c : name) fnv_byte(hash, static_cast<uint8_t>(c));
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    for (const char* p = buf; *p != '\0'; ++p) {
+      fnv_byte(hash, static_cast<uint8_t>(*p));
+    }
+  }
+
+  out.bytes_delivered = workload.bytes_received();
+  out.stats_json = topo.dump_stats();
+  out.digest = hash;
+  return out;
+}
+
+/// Two hosts, one link pair, a single closed-loop client fetching fixed
+/// responses back to back. With shards >= 2 the hosts sit in different
+/// shards and every packet rides the handoff path; traffic is strictly
+/// sequential, so arrival timestamps -- and therefore the per-tap hashes
+/// -- must be identical to the single-shard run. The digest folds only
+/// the tap hashes (per-loop bookkeeping like event counts legitimately
+/// differs across shard counts), so digest(shards=1) == digest(shards=2)
+/// is the epoch-barrier lockstep contract the tests pin.
+DigestResult run_pingpong_digest(const DigestConfig& cfg) {
+  DigestResult out;
+  const size_t shards = cfg.shards == 0 ? 1 : cfg.shards;
+
+  Topology topo(cfg.seed, shards);
+  const NodeId ping = topo.add_host("ping", 0);
+  const NodeId pong = topo.add_host("pong", shards > 1 ? 1 : 0);
+  LinkConfig link;
+  link.rate_bps = 10e6;
+  link.prop_delay = 10 * kMillisecond;
+  link.buffer_bytes = 64 * 1024;
+  const size_t l = topo.connect(ping, pong, link, link);
+  topo.build_routes();
+
+  uint64_t hash_ab = kFnvOffset;
+  uint64_t hash_ba = kFnvOffset;
+  uint64_t pkts_ab = 0;
+  uint64_t pkts_ba = 0;
+  HashingTap tap_ab(topo.loop(topo.shard_of(pong)), hash_ab, pkts_ab);
+  HashingTap tap_ba(topo.loop(topo.shard_of(ping)), hash_ba, pkts_ba);
+  topo.splice_ab(l, tap_ab);
+  topo.splice_ba(l, tap_ba);
+
+  TransportConfig tc;
+  tc.mptcp.scheduler = cfg.scheduler;
+  tc.mptcp.tcp.seed = cfg.seed;
+  SocketFactory server_factory(topo.host(pong), tc);
+  SocketFactory client_factory(topo.host(ping), tc);
+  HttpServer server(server_factory, 80);
+  HttpClientPool client(client_factory, topo.addr(ping),
+                        Endpoint{topo.addr(pong), 80}, /*clients=*/1,
+                        /*response_size=*/20 * 1024);
+  client.start();
+
+  ShardedEngine engine(topo);
+  engine.run_until(cfg.duration);
+
+  uint64_t hash = kFnvOffset;
+  for (uint64_t h : {hash_ab, hash_ba}) fnv_u64(hash, h);
+  for (uint64_t p : {pkts_ab, pkts_ba}) fnv_u64(hash, p);
+  out.packets_hashed = pkts_ab + pkts_ba;
+  out.bytes_delivered = server.bytes_served();
+  out.stats_json = topo.dump_stats();
+  out.digest = hash;
+  return out;
+}
+
 }  // namespace
 
 DigestResult run_digest_scenario(const DigestConfig& cfg) {
   switch (cfg.scenario) {
     case DigestScenario::kCapacity:
-      return run_capacity_digest(cfg);
+      return cfg.shards > 0 ? run_sharded_capacity_digest(cfg)
+                            : run_capacity_digest(cfg);
+    case DigestScenario::kPingPong:
+      return run_pingpong_digest(cfg);
     case DigestScenario::kTwoHost:
       break;
   }

@@ -24,6 +24,9 @@ enum class DigestScenario : uint8_t {
   kTwoHost,    ///< Fig. 6 shape: WiFi + weak lossy 3G, one bulk transfer
   kCapacity,   ///< scale-out shape: multi-host workload over shared
                ///< bottlenecks (sim/topology.h + app/workload.h)
+  kPingPong,   ///< two hosts, sequential fetches; with shards=2 the link
+               ///< crosses a shard boundary and the digest must equal the
+               ///< shards=1 reference (epoch-barrier lockstep check)
 };
 
 struct DigestConfig {
@@ -36,6 +39,12 @@ struct DigestConfig {
   /// change that claims to be behavior-preserving must reproduce the
   /// recorded digest for each pre-existing policy bit for bit.
   SchedulerPolicy scheduler = SchedulerPolicy::kLowestRtt;
+  /// 0 = the single-loop legacy paths (digests pinned bit-for-bit by
+  /// tests). >= 1 = the sharded variants driven by ShardedEngine: the
+  /// capacity scenario becomes a cell ring with cross-shard traffic
+  /// (deterministic for a *fixed* shard count), the ping-pong scenario
+  /// produces the same digest for any shard count.
+  size_t shards = 0;
 };
 
 struct DigestResult {

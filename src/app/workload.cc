@@ -58,12 +58,19 @@ CapacityTopology build_capacity_topology(const CapacitySpec& spec,
 
 WorkloadEngine::WorkloadEngine(Topology& topo, WorkloadConfig cfg)
     : topo_(topo), cfg_(std::move(cfg)) {
-  StatsRegistry& reg = topo_.stats();
+#ifndef NDEBUG
+  // The engine's timers, flow bookkeeping and stats all live in shard
+  // cfg_.shard; a client host in another shard would be driven from the
+  // wrong thread.
+  for (NodeId c : cfg_.clients) assert(topo_.shard_of(c) == cfg_.shard);
+#endif
+  StatsRegistry& reg = topo_.stats(cfg_.shard);
   classes_.reserve(cfg_.classes.size());
   for (size_t k = 0; k < cfg_.classes.size(); ++k) {
     ClassState cs;
     cs.spec = cfg_.classes[k];
-    cs.scope = reg.unique_scope("workload." + cs.spec.name);
+    cs.scope =
+        reg.unique_scope(cfg_.scope_prefix + "workload." + cs.spec.name);
     classes_.push_back(std::move(cs));
   }
   // Register after the vector is final so the lambdas can capture stable
@@ -85,9 +92,9 @@ WorkloadEngine::WorkloadEngine(Topology& topo, WorkloadConfig cfg)
     reg.sampled(cs.scope + ".fct_p99_us",
                 [h] { return static_cast<double>(h->approx_percentile(0.99)); });
   }
-  reg.sampled("workload.concurrent",
+  reg.sampled(cfg_.scope_prefix + "workload.concurrent",
               [this] { return static_cast<double>(flows_.size()); });
-  reg.sampled("workload.peak_concurrent",
+  reg.sampled(cfg_.scope_prefix + "workload.peak_concurrent",
               [this] { return static_cast<double>(peak_concurrent_); });
 }
 
@@ -100,10 +107,10 @@ WorkloadEngine::~WorkloadEngine() {
       flow->sock->on_closed = nullptr;
     }
   }
-  StatsRegistry& reg = topo_.stats();
+  StatsRegistry& reg = topo_.stats(cfg_.shard);
   for (ClassState& cs : classes_) reg.remove_scope(cs.scope);
-  reg.remove("workload.concurrent");
-  reg.remove("workload.peak_concurrent");
+  reg.remove(cfg_.scope_prefix + "workload.concurrent");
+  reg.remove(cfg_.scope_prefix + "workload.peak_concurrent");
 }
 
 void WorkloadEngine::start() {
@@ -124,7 +131,12 @@ void WorkloadEngine::start() {
   }
 
   // Clients: per (host, class) factory, arrival clock and rng stream.
+  // Streams and staggers key off the client's *global* id, so a workload
+  // partitioned across several engines (sharded cells) draws exactly the
+  // streams one engine owning every client would.
   for (size_t ci = 0; ci < cfg_.clients.size(); ++ci) {
+    const uint64_t gid =
+        ci < cfg_.client_ids.size() ? cfg_.client_ids[ci] : ci;
     for (size_t k = 0; k < classes_.size(); ++k) {
       auto slot = std::make_unique<ClientSlot>();
       slot->eng = this;
@@ -132,12 +144,12 @@ void WorkloadEngine::start() {
       slot->node = cfg_.clients[ci];
       slot->factory = std::make_unique<SocketFactory>(
           topo_.host(slot->node), classes_[k].spec.transport);
-      slot->rng.reseed(cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (ci + 1)) ^
+      slot->rng.reseed(cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (gid + 1)) ^
                        (0xd1342543de82ef95ULL * (k + 1)));
       // Stagger round-robin cursors so client i does not start on the
       // same server as client i+1.
-      slot->next_server = ci;
-      slot->next_local = ci;
+      slot->next_server = static_cast<size_t>(gid);
+      slot->next_local = static_cast<size_t>(gid);
       slots_.push_back(std::move(slot));
     }
   }
@@ -150,13 +162,14 @@ void WorkloadEngine::start() {
       const SimTime at =
           static_cast<SimTime>(slot->rng.next_below(1000)) * kMillisecond;
       ClientSlot* raw = slot.get();
-      topo_.loop().schedule_in(at, [this, raw] {
+      topo_.loop(cfg_.shard).schedule_in(at, [this, raw] {
         if (!stopped_) launch(*raw, /*persistent=*/true);
       });
     }
     if (spec.arrival_rate_hz > 0) {
       ClientSlot* raw = slot.get();
-      slot->arrival = std::make_unique<Timer>(topo_.loop(), [this, raw] {
+      slot->arrival =
+          std::make_unique<Timer>(topo_.loop(cfg_.shard), [this, raw] {
         if (stopped_) return;
         launch(*raw, /*persistent=*/false);
         schedule_arrival(*raw);
@@ -221,7 +234,7 @@ void WorkloadEngine::launch(ClientSlot& slot, bool persistent) {
   Flow* f = flow.get();
   f->eng = this;
   f->cls = slot.cls;
-  f->start = topo_.loop().now();
+  f->start = topo_.loop(cfg_.shard).now();
   f->want = persistent ? kPersistentBytes : sample_size(spec, slot.rng);
   f->persistent = persistent;
 
@@ -261,8 +274,8 @@ void WorkloadEngine::finish(Flow& f, bool ok) {
   if (ok) {
     ++cls.completed;
     if (!f.persistent) {
-      cls.fct_us->record(
-          static_cast<uint64_t>((topo_.loop().now() - f.start) / 1000));
+      cls.fct_us->record(static_cast<uint64_t>(
+          (topo_.loop(cfg_.shard).now() - f.start) / 1000));
     }
   } else {
     ++cls.errors;
@@ -285,6 +298,168 @@ uint64_t WorkloadEngine::total_completed() const {
   uint64_t total = 0;
   for (const ClassState& cs : classes_) total += cs.completed;
   return total;
+}
+
+ShardedCapacity build_sharded_capacity(const ShardedCapacitySpec& spec,
+                                       uint64_t seed, size_t shards) {
+  if (shards == 0) shards = 1;
+  ShardedCapacity out;
+  out.topo = std::make_unique<Topology>(seed, shards);
+  Topology& t = *out.topo;
+
+  LinkConfig access;
+  access.rate_bps = spec.cell.access_rate_bps;
+  access.prop_delay = spec.cell.access_delay;
+  access.buffer_bytes = std::max<size_t>(
+      LinkConfig::buffer_for_delay(spec.cell.access_rate_bps,
+                                   5 * kMillisecond),
+      3000);
+
+  LinkConfig bottleneck;
+  bottleneck.rate_bps = spec.cell.bottleneck_rate_bps;
+  bottleneck.prop_delay = spec.cell.bottleneck_delay;
+  bottleneck.buffer_bytes = std::max<size_t>(
+      LinkConfig::buffer_for_delay(spec.cell.bottleneck_rate_bps,
+                                   spec.cell.bottleneck_buffer_delay),
+      3000);
+
+  // Construction order (cells, then the ring) fixes every link index and
+  // loss seed independently of the shard count: only node->shard pinning
+  // changes with `shards`, never the graph.
+  for (size_t j = 0; j < spec.cells; ++j) {
+    const size_t shard = j % shards;
+    const std::string p = "c" + std::to_string(j) + ".";
+    ShardedCapacity::Cell cell;
+    cell.agg_a = t.add_router(p + "agg-a", shard);
+    cell.agg_b = t.add_router(p + "agg-b", shard);
+    cell.core = t.add_router(p + "core", shard);
+    for (size_t i = 0; i < spec.cell.clients; ++i) {
+      const NodeId c = t.add_host(p + "client" + std::to_string(i), shard);
+      t.connect(c, cell.agg_a, access, access);
+      t.connect(c, cell.agg_b, access, access);
+      cell.clients.push_back(c);
+    }
+    cell.bottleneck_a = t.connect(cell.agg_a, cell.core, bottleneck,
+                                  bottleneck, p + "bottleneck-a");
+    cell.bottleneck_b = t.connect(cell.agg_b, cell.core, bottleneck,
+                                  bottleneck, p + "bottleneck-b");
+    for (size_t i = 0; i < spec.cell.servers; ++i) {
+      const NodeId s = t.add_host(p + "server" + std::to_string(i), shard);
+      t.connect(cell.core, s, access, access);
+      cell.servers.push_back(s);
+    }
+    out.cells.push_back(std::move(cell));
+  }
+
+  if (spec.ring && spec.cells > 1) {
+    LinkConfig ring;
+    ring.rate_bps = spec.ring_rate_bps;
+    ring.prop_delay = spec.ring_delay;
+    ring.buffer_bytes = std::max<size_t>(
+        LinkConfig::buffer_for_delay(spec.ring_rate_bps, 20 * kMillisecond),
+        3000);
+    for (size_t j = 0; j < spec.cells; ++j) {
+      const size_t next = (j + 1) % spec.cells;
+      out.ring_links.push_back(t.connect(out.cells[j].core,
+                                         out.cells[next].core, ring, ring,
+                                         "ring-" + std::to_string(j)));
+    }
+  }
+
+  t.build_routes();
+  return out;
+}
+
+ShardedCapacityWorkload::ShardedCapacityWorkload(ShardedCapacity& net,
+                                                 const FlowClass& local,
+                                                 const FlowClass& cross,
+                                                 uint64_t seed) {
+  Topology& topo = *net.topo;
+  const size_t shards = topo.shard_count();
+  const size_t cells = net.cells.size();
+  const bool cross_on =
+      cross.arrival_rate_hz > 0 || cross.persistent_per_client > 0;
+  assert((!cross_on || cells <= 1 || !net.ring_links.empty()) &&
+         "cross-cell traffic needs the ring");
+  const size_t per_cell = cells == 0 ? 0 : net.cells[0].clients.size();
+
+  for (size_t j = 0; j < cells; ++j) {
+    const ShardedCapacity::Cell& cell = net.cells[j];
+    std::vector<uint64_t> ids;
+    ids.reserve(cell.clients.size());
+    for (size_t i = 0; i < cell.clients.size(); ++i) {
+      ids.push_back(j * per_cell + i);
+    }
+
+    WorkloadConfig wc;
+    wc.clients = cell.clients;
+    wc.servers = cell.servers;
+    wc.classes.push_back(local);
+    wc.seed = seed;
+    wc.shard = j % shards;
+    wc.scope_prefix = "c" + std::to_string(j) + ".";
+    wc.client_ids = ids;
+    engines_.push_back(std::make_unique<WorkloadEngine>(topo, std::move(wc)));
+
+    if (cross_on && cells > 1) {
+      // Clients of cell j fetch from cell j+1's servers over the ring:
+      // with cells == shards every byte of this class crosses a shard
+      // boundary twice (request out, response back).
+      WorkloadConfig xc;
+      xc.clients = cell.clients;
+      xc.servers = net.cells[(j + 1) % cells].servers;
+      xc.classes.push_back(cross);
+      xc.base_port = 9000;  // listeners coexist with the local class's
+      xc.seed = seed ^ 0x517cc1b727220a95ULL;
+      xc.shard = j % shards;
+      xc.scope_prefix = "c" + std::to_string(j) + "x.";
+      xc.client_ids = ids;
+      engines_.push_back(
+          std::make_unique<WorkloadEngine>(topo, std::move(xc)));
+    }
+  }
+}
+
+void ShardedCapacityWorkload::start() {
+  for (auto& e : engines_) e->start();
+}
+
+void ShardedCapacityWorkload::stop() {
+  for (auto& e : engines_) e->stop();
+}
+
+size_t ShardedCapacityWorkload::concurrent() const {
+  size_t n = 0;
+  for (const auto& e : engines_) n += e->concurrent();
+  return n;
+}
+
+size_t ShardedCapacityWorkload::peak_concurrent_sum() const {
+  size_t n = 0;
+  for (const auto& e : engines_) n += e->peak_concurrent();
+  return n;
+}
+
+uint64_t ShardedCapacityWorkload::total_completed() const {
+  uint64_t n = 0;
+  for (const auto& e : engines_) n += e->total_completed();
+  return n;
+}
+
+uint64_t ShardedCapacityWorkload::total_errors() const {
+  uint64_t n = 0;
+  for (const auto& e : engines_) {
+    for (size_t k = 0; k < e->class_count(); ++k) n += e->errors(k);
+  }
+  return n;
+}
+
+uint64_t ShardedCapacityWorkload::bytes_received() const {
+  uint64_t n = 0;
+  for (const auto& e : engines_) {
+    for (size_t k = 0; k < e->class_count(); ++k) n += e->bytes_received(k);
+  }
+  return n;
 }
 
 }  // namespace mptcp

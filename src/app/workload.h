@@ -68,6 +68,23 @@ struct WorkloadConfig {
   std::vector<FlowClass> classes;
   Port base_port = 8000;  ///< class k is served on base_port + k
   uint64_t seed = 1;
+
+  /// Shard whose loop drives this engine's client side (arrival timers,
+  /// flow bookkeeping, stats registration). Every client host must live
+  /// in this shard; server hosts may live elsewhere -- their listeners
+  /// run on their own shard's loop and traffic crosses through the
+  /// topology's shard channels.
+  size_t shard = 0;
+  /// Prepended to every stats scope ("c3." -> "c3.workload.<class>...").
+  /// Cell-structured scenarios use this to keep scopes globally unique,
+  /// which makes the merged multi-shard export identical to a
+  /// single-shard run of the same topology.
+  std::string scope_prefix;
+  /// Global client identities, parallel to `clients`. RNG streams and
+  /// round-robin staggers derive from these instead of local indices, so
+  /// a workload split across several engines draws the same per-client
+  /// streams as one engine owning all of them. Empty = 0..N-1.
+  std::vector<uint64_t> client_ids;
 };
 
 /// The canonical scale-out shape shared by the capacity benchmark, the
@@ -101,6 +118,65 @@ struct CapacityTopology {
 /// Builds the topology above (routes already computed).
 CapacityTopology build_capacity_topology(const CapacitySpec& spec,
                                          uint64_t seed);
+
+/// Scale-out sharded shape: `cells` disjoint replicas of the capacity
+/// cell above, cell j pinned to shard j % shards, optionally wired in a
+/// ring through their core routers (the ring links are the cross-shard
+/// handoff paths). The topology -- node set, link indices, loss seeds,
+/// addresses, routes -- depends only on (spec, seed), never on the shard
+/// count, which is what lets a sharded run reproduce the single-shard
+/// run's simulated metrics exactly when traffic stays inside cells.
+struct ShardedCapacitySpec {
+  CapacitySpec cell;
+  size_t cells = 4;
+  /// Connect core[j] -> core[(j+1) % cells]; required for cross-cell
+  /// traffic, and the source of the engine's epoch quantum (ring_delay).
+  bool ring = true;
+  double ring_rate_bps = 2e9;
+  SimTime ring_delay = 5 * kMillisecond;
+};
+
+struct ShardedCapacity {
+  std::unique_ptr<Topology> topo;
+  struct Cell {
+    std::vector<NodeId> clients;
+    std::vector<NodeId> servers;
+    NodeId agg_a = 0, agg_b = 0, core = 0;
+    size_t bottleneck_a = 0, bottleneck_b = 0;  ///< link indices
+  };
+  std::vector<Cell> cells;
+  std::vector<size_t> ring_links;  ///< cross-shard when shards > 1
+};
+
+ShardedCapacity build_sharded_capacity(const ShardedCapacitySpec& spec,
+                                       uint64_t seed, size_t shards);
+
+class WorkloadEngine;
+
+/// Drives one WorkloadEngine per cell (each pinned to its cell's shard,
+/// scoped "c<j>.", seeded by global client ids) and, when `cross` has
+/// any load, a second engine per cell whose clients fetch from the *next*
+/// cell's servers over the ring -- the traffic that exercises cross-shard
+/// handoff. Aggregates roll up across cells.
+class ShardedCapacityWorkload {
+ public:
+  ShardedCapacityWorkload(ShardedCapacity& net, const FlowClass& local,
+                          const FlowClass& cross, uint64_t seed);
+
+  void start();
+  void stop();
+
+  size_t concurrent() const;
+  size_t peak_concurrent_sum() const;  ///< sum of per-engine peaks
+  uint64_t total_completed() const;
+  uint64_t total_errors() const;
+  uint64_t bytes_received() const;
+  size_t engine_count() const { return engines_.size(); }
+  WorkloadEngine& engine(size_t i) { return *engines_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<WorkloadEngine>> engines_;
+};
 
 class WorkloadEngine {
  public:

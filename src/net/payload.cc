@@ -35,9 +35,22 @@ constexpr size_t kLargeCap = 16384;
 constexpr size_t kSmallMax = 8192;
 constexpr size_t kLargeMax = 2048;
 
-std::vector<void*> g_free_small;
-std::vector<void*> g_free_large;
-Payload::PoolStats g_pool_stats;
+// One pool per thread: payload refcounts are non-atomic and a buffer must
+// never be shared across threads (the sharded engine deep-copies payloads
+// at shard boundaries, see sim/shard.h), so each shard worker recycles
+// blocks through its own free lists with no synchronization. Blocks drain
+// back to the heap when the thread exits.
+struct Pool {
+  std::vector<void*> free_small;
+  std::vector<void*> free_large;
+  Payload::PoolStats stats;
+  ~Pool() {
+    for (void* p : free_small) ::operator delete(p);
+    for (void* p : free_large) ::operator delete(p);
+  }
+};
+
+thread_local Pool g_pool;
 
 }  // namespace
 
@@ -47,21 +60,21 @@ Payload::Buf* Payload::alloc_buf(size_t n) {
   std::vector<void*>* list = nullptr;
   if (n <= kSmallCap) {
     cap = kSmallCap;
-    list = &g_free_small;
+    list = &g_pool.free_small;
   } else if (n <= kLargeCap) {
     cap = kLargeCap;
-    list = &g_free_large;
+    list = &g_pool.free_large;
   }
   if (list != nullptr) {
     if (!list->empty()) {
-      ++g_pool_stats.hits;
+      ++g_pool.stats.hits;
       Buf* b = static_cast<Buf*>(list->back());
       list->pop_back();
       b->refs = 1;
       b->cap = static_cast<uint32_t>(cap);
       return b;
     }
-    ++g_pool_stats.misses;
+    ++g_pool.stats.misses;
   }
 #endif
   Buf* b = static_cast<Buf*>(::operator new(sizeof(Buf) + cap));
@@ -72,26 +85,26 @@ Payload::Buf* Payload::alloc_buf(size_t n) {
 
 void Payload::free_buf(Buf* b) {
 #if MPTCP_PAYLOAD_POOL
-  if (b->cap == kSmallCap && g_free_small.size() < kSmallMax) {
-    g_free_small.push_back(b);
+  if (b->cap == kSmallCap && g_pool.free_small.size() < kSmallMax) {
+    g_pool.free_small.push_back(b);
     return;
   }
-  if (b->cap == kLargeCap && g_free_large.size() < kLargeMax) {
-    g_free_large.push_back(b);
+  if (b->cap == kLargeCap && g_pool.free_large.size() < kLargeMax) {
+    g_pool.free_large.push_back(b);
     return;
   }
 #endif
   ::operator delete(static_cast<void*>(b));
 }
 
-const Payload::PoolStats& Payload::pool_stats() { return g_pool_stats; }
+const Payload::PoolStats& Payload::pool_stats() { return g_pool.stats; }
 
 void Payload::pool_reset() {
-  for (void* p : g_free_small) ::operator delete(p);
-  for (void* p : g_free_large) ::operator delete(p);
-  g_free_small.clear();
-  g_free_large.clear();
-  g_pool_stats = PoolStats{};
+  for (void* p : g_pool.free_small) ::operator delete(p);
+  for (void* p : g_pool.free_large) ::operator delete(p);
+  g_pool.free_small.clear();
+  g_pool.free_large.clear();
+  g_pool.stats = PoolStats{};
 }
 
 void Payload::assign(size_t n, uint8_t value) {

@@ -12,8 +12,10 @@
 //     payload bytes (a payload-rewriting middlebox, say) must go through
 //     mutable_data(), which unshares the view (copy-on-write) before
 //     returning a writable pointer.
-//   - The refcount is NOT atomic: the simulator is single-threaded by
-//     design and payloads must not cross threads.
+//   - The refcount is NOT atomic: each simulation shard is single-threaded
+//     by design and payloads must not cross threads. A segment handed to
+//     another shard is detached first -- ShardChannel::send (sim/shard.h)
+//     deep-copies the view into a fresh buffer owned by nobody else.
 //
 // Each view caches the folded RFC 1071 ones-complement sum of its bytes.
 // That makes the paper's shared-checksum trick (section 3.3.6) structural:
@@ -151,17 +153,18 @@ class Payload {
 
   // --- block pool ----------------------------------------------------------
   // alloc_buf() recycles freed blocks of the two hot allocation sizes
-  // (MSS-sized carves and app-write/16 KiB chunks) through process-wide
-  // free lists, so capacity-scale workloads stop hammering the allocator.
-  // Disabled under AddressSanitizer so lifetime bugs stay visible.
+  // (MSS-sized carves and app-write/16 KiB chunks) through thread-local
+  // free lists, so capacity-scale workloads stop hammering the allocator
+  // and shard worker threads never contend. Disabled under
+  // AddressSanitizer so lifetime bugs stay visible.
   struct PoolStats {
     uint64_t hits = 0;    ///< allocations served from a free list
     uint64_t misses = 0;  ///< poolable sizes that went to the heap
   };
   static const PoolStats& pool_stats();
-  /// Frees every pooled block and zeroes the stats. Called by EventLoop
-  /// construction so each simulation starts from a cold allocator and
-  /// exports per-run pool stats deterministically.
+  /// Frees the calling thread's pooled blocks and zeroes its stats.
+  /// Called by EventLoop construction so each simulation starts from a
+  /// cold allocator and exports per-run pool stats deterministically.
   static void pool_reset();
 
   bool operator==(const Payload& o) const;

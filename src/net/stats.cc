@@ -22,6 +22,15 @@ uint64_t Histogram::approx_percentile(double p) const {
   return max_;
 }
 
+void Histogram::merge_from(const Histogram& o) {
+  if (o.count_ == 0) return;
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+  if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
 // The transparent find keeps the lookup-of-existing path allocation-free:
 // connection constructors re-resolve loop-global names ("tcp.retransmits")
 // without materializing a std::string per call.
@@ -58,9 +67,10 @@ void StatsRegistry::sampled_group(const std::string& scope, GroupFn fn) {
 }
 
 std::string StatsRegistry::unique_scope(const std::string& base) {
-  const int n = ++scope_counts_[base];
-  if (n == 1) return base;
-  return base + "#" + std::to_string(n);
+  const std::string tagged = base + scope_tag_;
+  const int n = ++scope_counts_[tagged];
+  if (n == 1) return tagged;
+  return tagged + "#" + std::to_string(n);
 }
 
 size_t StatsRegistry::remove_scope(std::string_view scope) {
@@ -198,8 +208,9 @@ std::map<std::string, double> StatsRegistry::flatten() const {
   return out;
 }
 
-std::string StatsRegistry::to_json() const {
-  const auto flat = flatten();
+namespace {
+
+std::string flat_to_json(const std::map<std::string, double>& flat) {
   std::string out = "{\n";
   char buf[64];
   size_t i = 0;
@@ -214,6 +225,67 @@ std::string StatsRegistry::to_json() const {
   }
   out += "}\n";
   return out;
+}
+
+}  // namespace
+
+std::string StatsRegistry::to_json() const { return flat_to_json(flatten()); }
+
+std::map<std::string, double> StatsRegistry::merged_flatten(
+    std::span<const StatsRegistry* const> parts) {
+  std::map<std::string, double> out;
+  // Histograms accumulate here first so a name present in several
+  // partitions expands once, from the union of samples, instead of
+  // summing per-partition means/mins.
+  std::map<std::string, Histogram> hists;
+
+  class AddSink final : public SampleSink {
+   public:
+    AddSink(std::map<std::string, double>& out, const std::string& scope)
+        : out_(out), scope_(scope) {}
+    void emit(std::string_view name, double value) override {
+      std::string key;
+      key.reserve(scope_.size() + 1 + name.size());
+      key += scope_;
+      key += '.';
+      key += name;
+      out_[std::move(key)] += value;
+    }
+
+   private:
+    std::map<std::string, double>& out_;
+    const std::string& scope_;
+  };
+
+  for (const StatsRegistry* part : parts) {
+    for (const auto& [name, e] : part->entries_) {
+      if (e.counter) {
+        out[name] += static_cast<double>(e.counter->value());
+      } else if (e.gauge) {
+        out[name] += static_cast<double>(e.gauge->value());
+      } else if (e.hist) {
+        hists[name].merge_from(*e.hist);
+      } else if (e.fn) {
+        out[name] += e.fn();
+      } else if (e.group) {
+        AddSink sink(out, name);
+        e.group(sink);
+      }
+    }
+  }
+  for (const auto& [name, h] : hists) {
+    out[name + ".count"] = static_cast<double>(h.count());
+    out[name + ".sum"] = static_cast<double>(h.sum());
+    out[name + ".min"] = static_cast<double>(h.min());
+    out[name + ".max"] = static_cast<double>(h.max());
+    out[name + ".mean"] = h.mean();
+  }
+  return out;
+}
+
+std::string StatsRegistry::merged_to_json(
+    std::span<const StatsRegistry* const> parts) {
+  return flat_to_json(merged_flatten(parts));
 }
 
 std::map<std::string, double> StatsRegistry::parse_flat_json(

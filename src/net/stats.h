@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -76,6 +77,12 @@ class Histogram {
   /// fraction of samples falls; p in [0, 1].
   uint64_t approx_percentile(double p) const;
 
+  /// Folds another histogram's samples into this one bucket-wise, as if
+  /// every sample had been recorded here. min/max handle either side
+  /// being empty. This is how per-shard histogram partitions merge into
+  /// one distribution at export (StatsRegistry::merged_flatten).
+  void merge_from(const Histogram& o);
+
  private:
   std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
@@ -122,8 +129,19 @@ class StatsRegistry {
   /// Reserves a collision-free scope prefix: the first caller gets `base`,
   /// later callers get "base#2", "base#3", ... (deterministic in
   /// registration order). The '#' separator guarantees that
-  /// remove_scope("base") never touches "base#2.*" entries.
+  /// remove_scope("base") never touches "base#2.*" entries. The
+  /// registry's scope tag (if set) is appended to `base` first, so scopes
+  /// from different registries can never collide in a merged export.
   std::string unique_scope(const std::string& base);
+
+  /// Tags every subsequent unique_scope() name with `tag` (e.g. "@s1").
+  /// Sharded topologies tag each non-zero shard's registry so that
+  /// per-instance scopes ("mptcp.client@s1", "mptcp.client@s1#2", ...)
+  /// stay distinct across partitions -- otherwise merged_flatten() would
+  /// silently sum shard 0's "mptcp.client#2" with shard 1's. Shard 0 is
+  /// left untagged, which keeps every single-shard export byte-identical
+  /// to the pre-sharding format.
+  void set_scope_tag(std::string tag) { scope_tag_ = std::move(tag); }
 
   /// Removes the entry named `scope` and every entry under "scope.".
   /// Returns how many entries were dropped.
@@ -150,6 +168,22 @@ class StatsRegistry {
   /// One flat JSON object, keys sorted, doubles printed round-trippably.
   std::string to_json() const;
 
+  /// Deterministic fold of several registry partitions into one flat
+  /// view (the export path for per-shard registries). Same-named
+  /// counters, gauges and sampled values sum; histograms bucket-merge
+  /// *before* expansion, so <name>.{count,sum,min,max} describe the
+  /// union of samples and <name>.mean is recomputed from the merged
+  /// totals rather than summed. Group entries expand first and their
+  /// flat keys sum like scalars. The caller passes partitions in a fixed
+  /// order (shard index); the result depends only on each partition's
+  /// contents, never on which shard finished last, so two identical runs
+  /// fold to byte-identical JSON.
+  static std::map<std::string, double> merged_flatten(
+      std::span<const StatsRegistry* const> parts);
+
+  /// merged_flatten() serialized exactly like to_json().
+  static std::string merged_to_json(std::span<const StatsRegistry* const> parts);
+
   /// Parses the exact shape to_json() emits (also tolerates the flat JSON
   /// the benchmarks write). Malformed input yields the pairs parsed so far.
   static std::map<std::string, double> parse_flat_json(std::string_view json);
@@ -169,6 +203,7 @@ class StatsRegistry {
 
   std::map<std::string, Entry, std::less<>> entries_;
   std::map<std::string, int, std::less<>> scope_counts_;
+  std::string scope_tag_;
 };
 
 }  // namespace mptcp

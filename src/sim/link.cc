@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/shard.h"
+
 namespace mptcp {
 
 Link::Link(EventLoop& loop, LinkConfig config, std::string name)
@@ -72,6 +74,10 @@ void Link::finish_transmission() {
     ++stats_.dropped_down;
   } else if (config_.loss_prob > 0.0 && rng_.chance(config_.loss_prob)) {
     ++stats_.dropped_loss;
+  } else if (handoff_ != nullptr) {
+    ++stats_.delivered_pkts;
+    stats_.delivered_bytes += seg.wire_size();
+    handoff_->send(loop_.now() + config_.prop_delay, std::move(seg));
   } else if (target_ != nullptr) {
     ++stats_.delivered_pkts;
     stats_.delivered_bytes += seg.wire_size();

@@ -15,6 +15,8 @@
 
 namespace mptcp {
 
+class ShardChannel;
+
 struct LinkConfig {
   double rate_bps = 10e6;
   SimTime prop_delay = 10 * kMillisecond;  ///< one-way propagation
@@ -49,6 +51,15 @@ class Link : public PacketSink {
   void set_target(PacketSink* target) { target_ = target; }
   PacketSink* target() const { return target_; }
 
+  /// Cross-shard delivery: when set (by Topology, for links whose
+  /// endpoints live in different shards), segments that survive
+  /// serialization and loss are handed to the channel stamped with their
+  /// arrival time (now + prop_delay) instead of being propagated through
+  /// a local event -- the destination shard schedules the arrival in its
+  /// own loop at an epoch barrier. Takes precedence over target().
+  void set_handoff(ShardChannel* ch) { handoff_ = ch; }
+  ShardChannel* handoff() const { return handoff_; }
+
   /// Enqueues a segment for transmission (or drops it if the buffer is
   /// full or the link is administratively down).
   void deliver(TcpSegment seg) override;
@@ -78,6 +89,7 @@ class Link : public PacketSink {
   LinkConfig config_;
   std::string name_;
   PacketSink* target_ = nullptr;
+  ShardChannel* handoff_ = nullptr;
   Rng rng_;
 
   std::deque<TcpSegment> queue_;

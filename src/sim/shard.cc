@@ -1,0 +1,124 @@
+#include "sim/shard.h"
+
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "sim/topology.h"
+
+namespace mptcp {
+
+void ShardChannel::send(SimTime arrival, TcpSegment seg) {
+  // Detach the payload before it crosses threads: refcounts are
+  // non-atomic and the backing block came from the producer thread's
+  // pool, so the consumer must never see a buffer anyone else still
+  // references.
+  if (!seg.payload.empty()) {
+    seg.payload = Payload(seg.payload.span());
+  }
+  ++pushed_;
+  HandoffItem item{arrival, std::move(seg)};
+  if (!ring_.try_push(std::move(item))) {
+    // The ring cannot drain before the next barrier, so blocking here
+    // would deadlock the epoch; spill instead. FIFO survives: once the
+    // ring is full it stays full for the rest of the epoch, so every
+    // later send this epoch spills behind this one.
+    ++spilled_;
+    overflow_.push_back(std::move(item));
+  }
+}
+
+size_t ShardChannel::drain() {
+  size_t n = 0;
+  const auto deliver_at = [this](HandoffItem item) {
+    dst_loop_.schedule_at(
+        item.arrival, [this, seg = std::move(item.seg)]() mutable {
+          if (target_ != nullptr) target_->deliver(std::move(seg));
+        });
+  };
+  HandoffItem item;
+  while (ring_.try_pop(item)) {
+    deliver_at(std::move(item));
+    ++n;
+  }
+  for (HandoffItem& spilled : overflow_) {
+    deliver_at(std::move(spilled));
+    ++n;
+  }
+  overflow_.clear();
+  delivered_ += n;
+  return n;
+}
+
+ShardedEngine::ShardedEngine(Topology& topo, Config cfg) : topo_(topo) {
+  inbound_.resize(topo_.shard_count());
+  for (const auto& ch : topo_.channels()) {
+    inbound_[ch->dst_shard()].push_back(ch.get());
+  }
+  const SimTime bound = topo_.min_cross_prop();
+  quantum_ = cfg.quantum;
+  if (bound > 0 && (quantum_ <= 0 || quantum_ > bound)) quantum_ = bound;
+  if (bound == 0) quantum_ = 0;  // no cross-shard links: one epoch per run
+}
+
+void ShardedEngine::run_until(SimTime t) {
+  const size_t shards = topo_.shard_count();
+  if (shards <= 1) {
+    topo_.loop(0).run_until(t);
+    return;
+  }
+  // All loops sit at the same virtual time between runs (lockstep
+  // invariant), so shard 0's clock is everyone's clock.
+  const SimTime start = topo_.loop(0).now();
+  if (t <= start) return;
+  const SimTime q = quantum_ > 0 ? quantum_ : t - start;
+  epochs_ += static_cast<uint64_t>((t - start + q - 1) / q);
+
+  std::barrier<> bar(static_cast<ptrdiff_t>(shards));
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  for (size_t s = 1; s < shards; ++s) {
+    workers.emplace_back(
+        [this, s, start, t, q, &bar] { run_epochs(s, start, t, q, &bar); });
+  }
+  run_epochs(0, start, t, q, &bar);
+  for (std::thread& w : workers) w.join();
+}
+
+void ShardedEngine::run_epochs(size_t shard, SimTime start, SimTime t_end,
+                               SimTime q, void* barrier) {
+  auto& bar = *static_cast<std::barrier<>*>(barrier);
+  EventLoop& loop = topo_.loop(shard);
+  SimTime at = start;
+  while (at < t_end) {
+    const SimTime next = (t_end - at <= q) ? t_end : at + q;
+    loop.run_until(next);
+    // First barrier: every producer finished the epoch, so rings and
+    // overflow vectors are quiescent and safe to read from this thread.
+    bar.arrive_and_wait();
+    for (ShardChannel* ch : inbound_[shard]) ch->drain();
+    // Second barrier: all drains are done before any shard produces into
+    // the rings again next epoch.
+    bar.arrive_and_wait();
+    at = next;
+  }
+  // The final drain can schedule arrivals at exactly t_end (depart at
+  // t_end - prop in the last epoch); they belong to this run. Anything
+  // they send cross-shard arrives at >= t_end + quantum and waits in the
+  // rings for the next run's first barrier.
+  loop.run_until(t_end);
+}
+
+uint64_t ShardedEngine::handoff_packets() const {
+  uint64_t n = 0;
+  for (const auto& ch : topo_.channels()) n += ch->pushed();
+  return n;
+}
+
+uint64_t ShardedEngine::handoff_spills() const {
+  uint64_t n = 0;
+  for (const auto& ch : topo_.channels()) n += ch->spilled();
+  return n;
+}
+
+}  // namespace mptcp

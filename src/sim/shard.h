@@ -1,0 +1,154 @@
+// Sharded multi-core execution of one Topology: conservative parallel
+// discrete-event simulation with deterministic cross-shard handoff.
+//
+// A Topology built with `shards > 1` partitions its nodes across shards;
+// each shard owns one EventLoop (and therefore one StatsRegistry
+// partition) and is driven by one worker thread. Links whose endpoints
+// live in different shards keep their egress machinery (queue,
+// serialization, loss) in the source shard and hand finished segments to
+// the destination shard through a ShardChannel: a bounded SPSC ring plus
+// a producer-owned overflow spill.
+//
+// Synchronization is epoch-based and conservative. All shards advance
+// virtual time in lockstep through a fixed quantum Q chosen no larger
+// than the smallest cross-shard propagation delay (the "lookahead").
+// During an epoch [kQ, (k+1)Q) every shard runs only its own loop;
+// a segment departing at time t arrives at t + prop >= (k+1)Q, i.e.
+// never inside the current epoch. At the barrier every shard drains its
+// inbound channels -- in fixed channel order, each channel FIFO -- and
+// schedules the arrivals into its own loop at their exact virtual
+// arrival times. Arrival timestamps are thus bit-identical to a
+// single-shard execution; only the tie-break order of *exactly*
+// equal-timestamp events on one loop can differ between shard counts.
+// For a fixed shard count the whole execution is deterministic, which is
+// the contract `sim_digest --shards N` pins in CI.
+//
+// Thread-safety contract: a shard's loop, nodes, links, sockets and
+// registry partition are touched only by that shard's worker thread
+// while run_until() is executing (and only by the caller's thread
+// before/after). Payload buffers are refcounted *non-atomically*, so
+// ShardChannel::send() detaches the payload -- one copy into a fresh
+// buffer -- before a segment crosses threads; this is the only byte copy
+// the handoff costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/segment.h"
+#include "sim/event_loop.h"
+#include "sim/node.h"
+#include "sim/spsc.h"
+
+namespace mptcp {
+
+/// One segment in flight between shards: delivery time plus the segment
+/// itself (payload already detached from producer-shard buffers).
+struct HandoffItem {
+  SimTime arrival = 0;
+  TcpSegment seg;
+};
+
+/// One direction of one cross-shard link. The producer side lives with
+/// the link in the source shard; drain() runs on the destination shard's
+/// thread at epoch barriers only.
+class ShardChannel {
+ public:
+  ShardChannel(size_t src_shard, size_t dst_shard, EventLoop& dst_loop,
+               size_t ring_capacity)
+      : src_shard_(src_shard), dst_shard_(dst_shard), dst_loop_(dst_loop),
+        ring_(ring_capacity) {}
+
+  ShardChannel(const ShardChannel&) = delete;
+  ShardChannel& operator=(const ShardChannel&) = delete;
+
+  size_t src_shard() const { return src_shard_; }
+  size_t dst_shard() const { return dst_shard_; }
+
+  /// Head of the destination-side delivery chain. splice() on a
+  /// cross-shard link prepends middleboxes here, exactly as it would
+  /// retarget an intra-shard link.
+  PacketSink* target() const { return target_; }
+  void set_target(PacketSink* t) { target_ = t; }
+
+  /// Producer side: hands a segment off for delivery at `arrival`.
+  /// Detaches the payload (non-atomic refcounts must not cross threads)
+  /// and spills to the overflow vector when the ring is full -- the ring
+  /// cannot drain mid-epoch, so blocking here would deadlock the epoch.
+  void send(SimTime arrival, TcpSegment seg);
+
+  /// Consumer side, barrier-only: schedules every queued segment into
+  /// the destination loop at its arrival time (ring first, then
+  /// overflow, preserving producer FIFO order) and returns how many
+  /// were drained. The caller must guarantee the producer is quiesced
+  /// (the engine's barrier does).
+  size_t drain();
+
+  // --- introspection (read at barriers / after the run) -----------------
+  uint64_t pushed() const { return pushed_; }
+  uint64_t spilled() const { return spilled_; }
+  uint64_t delivered() const { return delivered_; }
+  size_t ring_capacity() const { return ring_.capacity(); }
+
+ private:
+  const size_t src_shard_;
+  const size_t dst_shard_;
+  EventLoop& dst_loop_;
+  PacketSink* target_ = nullptr;
+
+  SpscRing<HandoffItem> ring_;
+  /// Backpressure spill, written only by the producer thread mid-epoch
+  /// and read/cleared only by the consumer thread at barriers; the
+  /// engine's barrier provides the happens-before edges.
+  std::vector<HandoffItem> overflow_;
+
+  // Producer-written counters and consumer-written counters on separate
+  // cache lines; each is read by other threads only across a barrier.
+  alignas(64) uint64_t pushed_ = 0;
+  uint64_t spilled_ = 0;
+  alignas(64) uint64_t delivered_ = 0;
+};
+
+class Topology;
+
+/// Drives every shard of a Topology to a target virtual time in lockstep
+/// epochs. With one shard this degenerates to a plain run_until() on the
+/// calling thread; with N shards it spawns one worker thread per shard.
+class ShardedEngine {
+ public:
+  struct Config {
+    /// Epoch quantum; 0 = auto (the smallest cross-shard propagation
+    /// delay, or one single epoch when no link crosses shards). Values
+    /// above the auto bound are clamped to it -- a larger quantum would
+    /// let a segment arrive in the epoch it was sent in and break the
+    /// conservative contract.
+    SimTime quantum = 0;
+  };
+
+  explicit ShardedEngine(Topology& topo) : ShardedEngine(topo, Config{}) {}
+  ShardedEngine(Topology& topo, Config cfg);
+
+  /// Runs every shard to virtual time `t`. Blocks until all shards (and
+  /// all cross-shard deliveries scheduled before `t`) are done.
+  void run_until(SimTime t);
+
+  SimTime quantum() const { return quantum_; }
+  uint64_t epochs() const { return epochs_; }
+  /// Segments handed across shards / spilled past a full ring so far.
+  uint64_t handoff_packets() const;
+  uint64_t handoff_spills() const;
+
+ private:
+  void run_epochs(size_t shard, SimTime start, SimTime t_end, SimTime q,
+                  void* barrier);
+
+  Topology& topo_;
+  SimTime quantum_ = 0;
+  uint64_t epochs_ = 0;
+  /// Channels grouped by destination shard, in creation (link) order --
+  /// the drain order every barrier uses, part of the determinism
+  /// contract.
+  std::vector<std::vector<ShardChannel*>> inbound_;
+};
+
+}  // namespace mptcp

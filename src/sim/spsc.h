@@ -1,0 +1,72 @@
+// Bounded single-producer single-consumer ring for cross-shard handoff.
+//
+// One thread pushes, one thread pops; the ring itself is wait-free in
+// both directions (one acquire load + one release store per operation).
+// Capacity is fixed at construction and rounded up to a power of two so
+// index masking is a single AND.
+//
+// The sharded engine (sim/shard.h) drains rings only at epoch barriers,
+// which means a full ring cannot empty mid-epoch -- producers must not
+// spin on try_push(). The engine's channels therefore treat a false
+// return as backpressure and spill to a producer-owned overflow vector
+// that the consumer reads after the barrier (the barrier provides the
+// happens-before edge for the plain vector).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+namespace mptcp {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false (and leaves `v` untouched) when full.
+  bool try_push(T&& v) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Entries currently queued, as seen from either thread (approximate
+  /// while the other side is active; exact at a barrier).
+  size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  const size_t mask_;
+  std::vector<T> slots_;
+  // Producer and consumer cursors on separate cache lines so the two
+  // threads' stores do not false-share.
+  alignas(64) std::atomic<size_t> tail_{0};  ///< next write (producer)
+  alignas(64) std::atomic<size_t> head_{0};  ///< next read (consumer)
+};
+
+}  // namespace mptcp

@@ -5,20 +5,36 @@
 
 namespace mptcp {
 
-NodeId Topology::add_host(const std::string& name) {
+Topology::Topology(uint64_t seed, size_t shards) : seed_(seed) {
+  if (shards == 0) shards = 1;
+  loops_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    loops_.push_back(std::make_unique<EventLoop>());
+    // Tag non-zero shards' per-instance scope names so partitions can
+    // never alias in a merged export; shard 0 stays untagged to keep
+    // single-shard exports byte-identical to the pre-sharding format.
+    if (s > 0) loops_.back()->stats().set_scope_tag("@s" + std::to_string(s));
+  }
+}
+
+NodeId Topology::add_host(const std::string& name, size_t shard) {
+  assert(shard < loops_.size());
   const NodeId id = nodes_.size();
   Node n;
   n.name = name;
-  n.host = std::make_unique<Host>(loop_, name);
+  n.host = std::make_unique<Host>(*loops_[shard], name);
+  n.shard = shard;
   nodes_.push_back(std::move(n));
   return id;
 }
 
-NodeId Topology::add_router(const std::string& name) {
+NodeId Topology::add_router(const std::string& name, size_t shard) {
+  assert(shard < loops_.size());
   const NodeId id = nodes_.size();
   Node n;
   n.name = name;
-  n.router = std::make_unique<Router>(loop_, name);
+  n.router = std::make_unique<Router>(*loops_[shard], name);
+  n.shard = shard;
   nodes_.push_back(std::move(n));
   return id;
 }
@@ -34,13 +50,45 @@ size_t Topology::connect(NodeId a, NodeId b, const LinkConfig& cfg_ab,
   ab.loss_seed ^= seed_ * 0x9e37 + idx * 0x632be59bd9b4e019ULL;
   ba.loss_seed ^= seed_ * 0x79b9 + idx * 0xd1342543de82ef95ULL;
 
+  // Each direction's egress machinery (queue, serialization, loss) lives
+  // in the *source* node's shard; a cross-shard direction delivers
+  // through a ShardChannel whose target chain runs in the destination
+  // shard. The channel carries the propagation delay in its arrival
+  // timestamps, so prop_delay must be positive -- it is the lookahead
+  // that keeps barrier-drained handoff exact.
+  const size_t sa = nodes_[a].shard;
+  const size_t sb = nodes_[b].shard;
   LinkRec rec;
   rec.a = a;
   rec.b = b;
-  rec.ab = std::make_unique<Link>(loop_, ab, name + "-ab");
-  rec.ba = std::make_unique<Link>(loop_, ba, name + "-ba");
-  rec.ab->set_target(sink_of(b));
-  rec.ba->set_target(sink_of(a));
+  rec.ab = std::make_unique<Link>(*loops_[sa], ab, name + "-ab");
+  rec.ba = std::make_unique<Link>(*loops_[sb], ba, name + "-ba");
+  if (sa == sb) {
+    rec.ab->set_target(sink_of(b));
+    rec.ba->set_target(sink_of(a));
+  } else {
+    assert(ab.prop_delay > 0 && ba.prop_delay > 0 &&
+           "cross-shard links need positive propagation delay");
+    auto ab_ch = std::make_unique<ShardChannel>(sa, sb, *loops_[sb],
+                                                ring_capacity_);
+    ab_ch->set_target(sink_of(b));
+    rec.ab->set_handoff(ab_ch.get());
+    rec.ab_ch = ab_ch.get();
+    channels_.push_back(std::move(ab_ch));
+
+    auto ba_ch = std::make_unique<ShardChannel>(sb, sa, *loops_[sa],
+                                                ring_capacity_);
+    ba_ch->set_target(sink_of(a));
+    rec.ba->set_handoff(ba_ch.get());
+    rec.ba_ch = ba_ch.get();
+    channels_.push_back(std::move(ba_ch));
+
+    for (SimTime prop : {ab.prop_delay, ba.prop_delay}) {
+      if (min_cross_prop_ == 0 || prop < min_cross_prop_) {
+        min_cross_prop_ = prop;
+      }
+    }
+  }
 
   // Host endpoints gain a fresh address in this link's /24 and send out of
   // it through the matching link direction.
@@ -62,11 +110,24 @@ size_t Topology::connect(NodeId a, NodeId b, const LinkConfig& cfg_ab,
 }
 
 void Topology::splice_ab(size_t l, Middlebox& element) {
+  // On a cross-shard link the delivery chain hangs off the channel (and
+  // runs on the destination shard's thread), so that is where middleboxes
+  // nest.
+  if (links_[l].ab_ch != nullptr) {
+    element.set_downstream(links_[l].ab_ch->target());
+    links_[l].ab_ch->set_target(&element);
+    return;
+  }
   element.set_downstream(links_[l].ab->target());
   links_[l].ab->set_target(&element);
 }
 
 void Topology::splice_ba(size_t l, Middlebox& element) {
+  if (links_[l].ba_ch != nullptr) {
+    element.set_downstream(links_[l].ba_ch->target());
+    links_[l].ba_ch->set_target(&element);
+    return;
+  }
   element.set_downstream(links_[l].ba->target());
   links_[l].ba->set_target(&element);
 }
@@ -84,6 +145,28 @@ void Topology::set_link_up(size_t l, bool up) {
     const IpAddr addr(10, hi, lo, side == rec.a ? 1 : 2);
     nodes_[side].host->set_interface_up(addr, up);
   }
+}
+
+size_t Topology::shard_for_token(std::string_view token) const {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : token) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h % loops_.size());
+}
+
+std::vector<const StatsRegistry*> Topology::shard_stats() const {
+  std::vector<const StatsRegistry*> parts;
+  parts.reserve(loops_.size());
+  for (const auto& l : loops_) parts.push_back(&l->stats());
+  return parts;
+}
+
+std::string Topology::dump_stats() {
+  if (loops_.size() == 1) return loops_[0]->stats().to_json();
+  const auto parts = shard_stats();
+  return StatsRegistry::merged_to_json(parts);
 }
 
 void Topology::build_routes() {

@@ -26,15 +26,28 @@
 // Router. Per-address (not per-host) routing is what keeps a multihomed
 // host's subflows on distinct paths end to end. Hosts never forward, so
 // paths only traverse routers.
+//
+// Sharding: Topology(seed, shards) creates one EventLoop (and therefore
+// one StatsRegistry partition) per shard; add_host()/add_router() pin
+// each node to a shard, and every node's machinery (sockets, timers,
+// link egress) lives in its shard's loop. A link whose endpoints sit in
+// different shards sends through a ShardChannel (sim/shard.h) instead of
+// a local propagation event; ShardedEngine drives the loops in lockstep
+// epochs. Cross-shard links must have prop_delay > 0 -- the propagation
+// delay is the conservative lookahead that makes barrier-drained handoff
+// exact. Routing is shard-safe as-is: build_routes() only ever installs
+// a router's own egress links, which live in that router's shard.
 #pragma once
 
 #include <cassert>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/link.h"
 #include "sim/network.h"
+#include "sim/shard.h"
 
 namespace mptcp {
 
@@ -43,14 +56,14 @@ using NodeId = size_t;
 
 class Topology {
  public:
-  explicit Topology(uint64_t seed = 1) : seed_(seed) {}
+  explicit Topology(uint64_t seed = 1, size_t shards = 1);
 
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
   // --- construction ------------------------------------------------------
-  NodeId add_host(const std::string& name);
-  NodeId add_router(const std::string& name);
+  NodeId add_host(const std::string& name, size_t shard = 0);
+  NodeId add_router(const std::string& name, size_t shard = 0);
 
   /// Connects `a` and `b` with a full-duplex link pair (`cfg_ab` shapes the
   /// a->b direction). Host endpoints gain a fresh interface address on this
@@ -99,10 +112,35 @@ class Topology {
   /// attached to it (mobility at scale).
   void set_link_up(size_t l, bool up);
 
+  // --- sharding -----------------------------------------------------------
+  size_t shard_count() const { return loops_.size(); }
+  size_t shard_of(NodeId n) const { return nodes_[n].shard; }
+  /// Stable token -> shard pinning (FNV-1a mod shard count), the helper
+  /// scenario builders use to spread named entities across shards
+  /// without coordinating.
+  size_t shard_for_token(std::string_view token) const;
+  /// Ring capacity for cross-shard channels created by *subsequent*
+  /// connect() calls. Overflow past the ring spills to an unbounded
+  /// vector, so this tunes memory/backpressure, not correctness.
+  void set_handoff_ring_capacity(size_t cap) { ring_capacity_ = cap; }
+  /// Every cross-shard channel, in creation order (ShardedEngine's
+  /// deterministic drain order).
+  const std::vector<std::unique_ptr<ShardChannel>>& channels() const {
+    return channels_;
+  }
+  /// Smallest propagation delay over all cross-shard link directions (the
+  /// conservative epoch-quantum bound); 0 when nothing crosses shards.
+  SimTime min_cross_prop() const { return min_cross_prop_; }
+
   // --- observability ------------------------------------------------------
-  EventLoop& loop() { return loop_; }
-  StatsRegistry& stats() { return loop_.stats(); }
-  std::string dump_stats() { return loop_.stats().to_json(); }
+  EventLoop& loop(size_t shard = 0) { return *loops_[shard]; }
+  StatsRegistry& stats(size_t shard = 0) { return loops_[shard]->stats(); }
+  /// All shard registry partitions, in shard order.
+  std::vector<const StatsRegistry*> shard_stats() const;
+  /// Single-shard: the loop's stats JSON, byte-identical to what this
+  /// method always produced. Sharded: the deterministic ordered merge of
+  /// every shard partition (StatsRegistry::merged_to_json).
+  std::string dump_stats();
 
  private:
   struct Node {
@@ -110,6 +148,7 @@ class Topology {
     std::unique_ptr<Host> host;      ///< exactly one of host/router is set
     std::unique_ptr<Router> router;
     std::vector<IpAddr> addrs;       ///< hosts only, in connect() order
+    size_t shard = 0;
   };
 
   struct LinkRec {
@@ -117,6 +156,8 @@ class Topology {
     NodeId b;
     std::unique_ptr<Link> ab;  ///< direction a->b
     std::unique_ptr<Link> ba;  ///< direction b->a
+    ShardChannel* ab_ch = nullptr;  ///< set when a and b sit in
+    ShardChannel* ba_ch = nullptr;  ///< different shards
   };
 
   PacketSink* sink_of(NodeId n) {
@@ -124,10 +165,13 @@ class Topology {
                         : static_cast<PacketSink*>(nodes_[n].host.get());
   }
 
-  EventLoop loop_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;  ///< one per shard
   uint64_t seed_;
+  size_t ring_capacity_ = 1024;
+  SimTime min_cross_prop_ = 0;
   std::vector<Node> nodes_;
   std::vector<LinkRec> links_;
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
 };
 
 }  // namespace mptcp

@@ -1,0 +1,390 @@
+// Sharded simulation engine: the SPSC handoff ring, the cross-shard
+// channel (FIFO + spill backpressure), the deterministic merge of
+// per-shard stats partitions, and the engine-level determinism contracts:
+//
+//   * a fixed shard count reproduces the same digest run over run;
+//   * the ping-pong scenario's digest is identical across shard counts
+//     (the epoch-barrier lockstep proof: a cross-shard link must behave
+//     exactly like the same link inside one loop);
+//   * a cell-local workload's merged simulated metrics are bit-identical
+//     between a single-shard and a multi-shard execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/digest.h"
+#include "app/workload.h"
+#include "net/stats.h"
+#include "sim/event_loop.h"
+#include "sim/node.h"
+#include "sim/shard.h"
+#include "sim/spsc.h"
+#include "sim/topology.h"
+
+namespace mptcp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SpscRing.
+// ---------------------------------------------------------------------------
+
+TEST(SpscRing, CapacityAndBackpressure) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.try_push(std::move(v))) << i;
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  int extra = 99;
+  EXPECT_FALSE(ring.try_push(std::move(extra)));  // full: push refused
+  EXPECT_EQ(extra, 99);                           // and operand untouched
+  int out = -1;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(std::move(extra)));  // slot freed by the pop
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);  // bit_ceil(5) = 8
+  for (int i = 0; i < 8; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.try_push(std::move(v))) << i;
+  }
+  int v = 8;
+  EXPECT_FALSE(ring.try_push(std::move(v)));
+}
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(std::move(v)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, CrossThreadVisibilityAndOrder) {
+  constexpr int kItems = 20000;
+  SpscRing<int> ring(64);
+  std::thread producer([&ring] {
+    for (int i = 0; i < kItems; ++i) {
+      int v = i;
+      while (!ring.try_push(std::move(v))) {
+        // spin: the consumer is draining concurrently
+      }
+    }
+  });
+  for (int expect = 0; expect < kItems; ++expect) {
+    int out = -1;
+    while (!ring.try_pop(out)) {
+      // spin until the producer catches up
+    }
+    ASSERT_EQ(out, expect);
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// ---------------------------------------------------------------------------
+// ShardChannel.
+// ---------------------------------------------------------------------------
+
+/// Records the seq of every delivered segment.
+class SeqCollector : public PacketSink {
+ public:
+  void deliver(TcpSegment seg) override { seqs.push_back(seg.seq); }
+  std::vector<uint32_t> seqs;
+};
+
+TEST(ShardChannel, DrainDeliversInOrderAtArrivalTime) {
+  EventLoop loop;
+  ShardChannel ch(/*src_shard=*/0, /*dst_shard=*/1, loop,
+                  /*ring_capacity=*/16);
+  SeqCollector sink;
+  ch.set_target(&sink);
+
+  for (uint32_t i = 0; i < 5; ++i) {
+    TcpSegment seg;
+    seg.seq = i;
+    ch.send(/*arrival=*/kMillisecond + i, std::move(seg));
+  }
+  EXPECT_EQ(ch.pushed(), 5u);
+  EXPECT_EQ(ch.drain(), 5u);
+  EXPECT_TRUE(sink.seqs.empty());  // scheduled, not yet executed
+  loop.run_until(2 * kMillisecond);
+  ASSERT_EQ(sink.seqs.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(sink.seqs[i], i);
+  EXPECT_EQ(ch.delivered(), 5u);
+}
+
+TEST(ShardChannel, OverflowSpillPreservesFifo) {
+  EventLoop loop;
+  ShardChannel ch(0, 1, loop, /*ring_capacity=*/4);
+  SeqCollector sink;
+  ch.set_target(&sink);
+
+  // 10 sends into a 4-slot ring: 4 land in the ring, 6 spill to the
+  // producer-side overflow. Drain must restore the original order.
+  for (uint32_t i = 0; i < 10; ++i) {
+    TcpSegment seg;
+    seg.seq = i;
+    ch.send(kMillisecond, std::move(seg));
+  }
+  EXPECT_EQ(ch.pushed(), 10u);
+  EXPECT_EQ(ch.spilled(), 6u);
+  EXPECT_EQ(ch.drain(), 10u);
+  loop.run_until(2 * kMillisecond);
+  ASSERT_EQ(sink.seqs.size(), 10u);
+  for (uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sink.seqs[i], i);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic stats merge.
+// ---------------------------------------------------------------------------
+
+TEST(StatsMerge, ScalarsSumAndHistogramsFoldByBucket) {
+  StatsRegistry a;
+  StatsRegistry b;
+  a.counter("pkts").inc(10);
+  b.counter("pkts").inc(32);
+  a.gauge("depth").set(3);
+  b.gauge("depth").set(4);
+  a.histogram("fct").record(8);
+  a.histogram("fct").record(100);
+  b.histogram("fct").record(2);
+  b.histogram("fct").record(5000);
+  b.counter("only_b").inc(7);
+
+  const StatsRegistry* parts[] = {&a, &b};
+  const std::map<std::string, double> m =
+      StatsRegistry::merged_flatten(parts);
+  EXPECT_EQ(m.at("pkts"), 42.0);
+  EXPECT_EQ(m.at("depth"), 7.0);
+  EXPECT_EQ(m.at("only_b"), 7.0);
+  EXPECT_EQ(m.at("fct.count"), 4.0);
+  EXPECT_EQ(m.at("fct.sum"), 5110.0);
+  EXPECT_EQ(m.at("fct.min"), 2.0);
+  EXPECT_EQ(m.at("fct.max"), 5000.0);
+  EXPECT_EQ(m.at("fct.mean"), 5110.0 / 4.0);
+}
+
+TEST(StatsMerge, ResultIndependentOfPartitionFillOrder) {
+  // Shard threads finish in arbitrary order; the merged export folds the
+  // partitions in the caller's fixed shard order, so two merges of the
+  // same contents must be byte-identical no matter which registry was
+  // populated (or finished) first.
+  auto fill_x = [](StatsRegistry& r) {
+    r.counter("x.pkts").inc(5);
+    r.histogram("x.fct").record(10);
+  };
+  auto fill_y = [](StatsRegistry& r) {
+    r.counter("y.pkts").inc(9);
+    r.histogram("x.fct").record(20);
+  };
+  StatsRegistry a1, b1;
+  fill_x(a1);
+  fill_y(b1);
+  StatsRegistry b2, a2;
+  fill_y(b2);  // populated before its sibling this time
+  fill_x(a2);
+
+  const StatsRegistry* first[] = {&a1, &b1};
+  const StatsRegistry* second[] = {&a2, &b2};
+  EXPECT_EQ(StatsRegistry::merged_to_json(first),
+            StatsRegistry::merged_to_json(second));
+}
+
+TEST(StatsMerge, HistogramMergeFromHandlesEmptySides) {
+  Histogram empty;
+  Histogram h;
+  h.record(7);
+  h.merge_from(empty);  // no-op
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 7u);
+  Histogram dst;
+  dst.merge_from(h);  // empty destination adopts source min/max
+  EXPECT_EQ(dst.count(), 1u);
+  EXPECT_EQ(dst.min(), 7u);
+  EXPECT_EQ(dst.max(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level determinism contracts.
+// ---------------------------------------------------------------------------
+
+DigestResult pingpong(size_t shards) {
+  DigestConfig cfg;
+  cfg.scenario = DigestScenario::kPingPong;
+  cfg.shards = shards;
+  cfg.duration = 2 * kSecond;
+  cfg.seed = 7;
+  return run_digest_scenario(cfg);
+}
+
+TEST(ShardedEngine, PingPongDigestIdenticalAcrossShardCounts) {
+  // The lockstep proof: with shards=2 every packet crosses an SPSC
+  // channel and an epoch barrier; the digest (packet headers + payload
+  // bytes, in delivery order, per direction) must still equal the
+  // single-loop reference exactly.
+  const DigestResult one = pingpong(1);
+  const DigestResult two = pingpong(2);
+  EXPECT_GT(one.bytes_delivered, 0u);
+  EXPECT_EQ(one.digest, two.digest);
+  EXPECT_EQ(one.packets_hashed, two.packets_hashed);
+  EXPECT_EQ(one.bytes_delivered, two.bytes_delivered);
+}
+
+TEST(ShardedEngine, ShardedCapacityDigestStableForFixedShardCount) {
+  DigestConfig cfg;
+  cfg.scenario = DigestScenario::kCapacity;
+  cfg.shards = 2;
+  cfg.duration = 1 * kSecond;
+  cfg.seed = 3;
+  const DigestResult first = run_digest_scenario(cfg);
+  const DigestResult second = run_digest_scenario(cfg);
+  EXPECT_GT(first.bytes_delivered, 0u);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.stats_json, second.stats_json);
+}
+
+/// Shard-count-invariant view of a merged export. Three kinds of key:
+///   * execution-dependent (thread-local allocator pools, per-loop
+///     scheduler bookkeeping under sim.* minus links/routers): dropped;
+///   * per-connection live scopes (mptcp.client#N / mptcp.server#N):
+///     the #N instance suffix is allocated per registry, so the same
+///     connection gets different numbers under different shard splits --
+///     compared as sorted value multisets with the suffix stripped,
+///     which is exact and permutation-invariant;
+///   * everything else (link/router counters, workload metrics, summed
+///     tcp.* counters): compared exactly.
+struct Canonical {
+  std::map<std::string, double> exact;
+  std::map<std::string, std::vector<double>> per_conn;
+};
+
+Canonical canonicalize(const std::map<std::string, double>& merged) {
+  Canonical c;
+  for (const auto& [raw_key, value] : merged) {
+    if (raw_key.rfind("payload.pool.", 0) == 0) continue;
+    if (raw_key.rfind("sim.", 0) == 0 &&
+        raw_key.rfind("sim.link.", 0) != 0 &&
+        raw_key.rfind("sim.router.", 0) != 0) {
+      continue;
+    }
+    // Strip the per-shard scope tag ("@s<k>", possibly fused with a
+    // "#<n>" instance counter): merged exports shard-qualify scope
+    // names, but the quantities are shard-count-invariant.
+    std::string key = raw_key;
+    const size_t at = key.find('@');
+    if (at != std::string::npos) {
+      const size_t dot = key.find('.', at);
+      key.erase(at, (dot == std::string::npos ? key.size() : dot) - at);
+    }
+    if (key.rfind("mptcp.client", 0) == 0 ||
+        key.rfind("mptcp.server", 0) == 0) {
+      // Per-connection scopes: also drop the "#<n>" instance counter
+      // (allocated per registry, so it depends on the shard split) and
+      // compare as value multisets.
+      const size_t hash = key.find('#');
+      if (hash != std::string::npos) {
+        const size_t dot = key.find('.', hash);
+        key.erase(hash, (dot == std::string::npos ? key.size() : dot) - hash);
+      }
+      c.per_conn[key].push_back(value);
+      continue;
+    }
+    c.exact[key] = value;
+  }
+  for (auto& [key, values] : c.per_conn) {
+    std::sort(values.begin(), values.end());
+  }
+  return c;
+}
+
+std::map<std::string, double> run_cells(size_t shards) {
+  ShardedCapacitySpec spec;
+  spec.cells = 2;
+  spec.cell.clients = 2;
+  spec.cell.servers = 1;
+  spec.cell.bottleneck_rate_bps = 100e6;
+  ShardedCapacity net = build_sharded_capacity(spec, /*seed=*/5, shards);
+
+  FlowClass local;
+  local.name = "bulk";
+  local.persistent_per_client = 3;
+  local.arrival_rate_hz = 5.0;
+  local.size_dist = FlowClass::SizeDist::kExponential;
+  local.mean_size = 20 * 1000;
+  local.transport.mptcp.tcp.seed = 5;
+  FlowClass off;
+  off.arrival_rate_hz = 0;
+  off.persistent_per_client = 0;
+
+  ShardedCapacityWorkload workload(net, local, off, /*seed=*/5);
+  workload.start();
+  ShardedEngine engine(*net.topo);
+  engine.run_until(800 * kMillisecond);
+  EXPECT_GT(workload.bytes_received(), 0u);
+
+  return StatsRegistry::merged_flatten(net.topo->shard_stats());
+}
+
+TEST(ShardedEngine, CellLocalWorkloadMetricsMatchSingleShard) {
+  // Cells are pinned round-robin to shards and all traffic stays inside
+  // its cell, so the simulated system is the same regardless of how the
+  // cells are split across threads: every link/router counter, workload
+  // metric and FCT histogram must agree bit for bit, and the live
+  // per-connection scopes must agree as value multisets.
+  const Canonical one = canonicalize(run_cells(1));
+  const Canonical two = canonicalize(run_cells(2));
+  EXPECT_FALSE(one.exact.empty());
+  EXPECT_FALSE(one.per_conn.empty());
+  EXPECT_EQ(one.exact, two.exact);
+  EXPECT_EQ(one.per_conn, two.per_conn);
+}
+
+TEST(ShardedEngine, CrossShardTrafficMovesThroughChannels) {
+  ShardedCapacitySpec spec;
+  spec.cells = 2;
+  spec.cell.clients = 2;
+  spec.cell.servers = 1;
+  spec.cell.bottleneck_rate_bps = 100e6;
+  ShardedCapacity net = build_sharded_capacity(spec, /*seed=*/9,
+                                               /*shards=*/2);
+  ASSERT_FALSE(net.ring_links.empty());
+  ASSERT_FALSE(net.topo->channels().empty());
+
+  FlowClass local;
+  local.persistent_per_client = 0;
+  local.arrival_rate_hz = 0;
+  FlowClass cross;
+  cross.name = "cross";
+  cross.persistent_per_client = 2;
+  cross.arrival_rate_hz = 5.0;
+  cross.size_dist = FlowClass::SizeDist::kExponential;
+  cross.mean_size = 10 * 1000;
+  cross.transport.mptcp.tcp.seed = 9;
+
+  ShardedCapacityWorkload workload(net, local, cross, /*seed=*/9);
+  workload.start();
+  ShardedEngine engine(*net.topo);
+  engine.run_until(800 * kMillisecond);
+
+  EXPECT_GT(engine.handoff_packets(), 0u);
+  EXPECT_GT(workload.bytes_received(), 0u);
+  EXPECT_GT(engine.epochs(), 1u);
+}
+
+}  // namespace
+}  // namespace mptcp
